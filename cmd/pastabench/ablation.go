@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hicoo"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/perfmodel"
+	"repro/internal/platform"
+	"repro/internal/roofline"
+	"repro/internal/tensor"
+)
+
+// runAblations exercises the design choices DESIGN.md calls out: HiCOO
+// block size, gHiCOO compressed-mode choice, Mttkrp parallelization
+// strategy, and OpenMP scheduling policy.
+func runAblations(o options) {
+	header("Ablations")
+	cfg := benchConfig(o)
+
+	e, _ := dataset.ByID("irrS")
+	x, err := dataset.Materialize(e, o.nnz, o.seed)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("workload: irrS stand-in, %d nnz\n", x.NNZ())
+
+	// --- Block size B for HiCOO ------------------------------------------
+	fmt.Println("\n(a) HiCOO block size (storage + modeled Bluesky HiCOO-Mttkrp):")
+	fmt.Printf("%8s %12s %10s %14s %12s\n", "B", "bytes", "blocks", "mean nnz/blk", "GFLOPS(model)")
+	for _, bits := range []uint8{4, 5, 6, 7, 8} {
+		h := hicoo.FromCOO(x, bits)
+		st := h.ComputeStats()
+		c2 := cfg
+		c2.BlockBits = bits
+		ws := metrics.Workloads(x, c2)
+		r := metrics.ModelFromWorkloads(&platform.Bluesky, ws, roofline.Mttkrp, roofline.HiCOO)
+		fmt.Printf("%8d %12d %10d %14.2f %12.3f\n", 1<<bits, st.StorageBytes, st.NumBlocks, st.MeanNNZPerBlock, r.GFLOPS)
+	}
+
+	// --- gHiCOO compressed-mode choice ------------------------------------
+	fmt.Println("\n(b) gHiCOO compressed-mode choice (storage for Ttv input, product mode uncompressed):")
+	full := hicoo.FromCOO(x, cfg.BlockBits)
+	fmt.Printf("%-28s %12d bytes\n", "HiCOO (all modes)", full.StorageBytes())
+	for mode := 0; mode < x.Order(); mode++ {
+		g := hicoo.FromCOOExceptMode(x, mode, cfg.BlockBits)
+		fmt.Printf("gHiCOO (uncompressed mode %d) %12d bytes  (%d blocks)\n", mode, g.StorageBytes(), g.NumBlocks())
+	}
+
+	// --- Mttkrp parallelization strategy (host-measured) -------------------
+	fmt.Println("\n(c) Mttkrp parallelization strategy (host wall-clock, mode 0):")
+	mats := make([]*tensor.Matrix, x.Order())
+	for n := range mats {
+		mats[n] = tensor.NewMatrix(int(x.Dims[n]), cfg.R)
+		mats[n].Fill(0.5)
+	}
+	p, err := core.PrepareMttkrp(x, 0, cfg.R)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	timeIt := func(name string, run func()) {
+		run() // warm-up
+		start := time.Now()
+		for i := 0; i < cfg.Runs; i++ {
+			run()
+		}
+		el := time.Since(start).Seconds() / float64(cfg.Runs)
+		gflops := float64(p.FlopCount()) / el / 1e9
+		fmt.Printf("  %-28s %10.4fms %10.3f GFLOPS\n", name, el*1e3, gflops)
+	}
+	timeIt("sequential", func() { _, _ = p.ExecuteSeq(mats) })
+	timeIt("nnz-parallel + atomics", func() { _, _ = p.ExecuteOMP(mats, cfg.Sched) })
+	timeIt("nnz-parallel + privatization", func() { _, _ = p.ExecuteOMPPrivatized(mats, cfg.Sched) })
+	h := hicoo.FromCOO(x, cfg.BlockBits)
+	hp, err := core.PrepareMttkrpHiCOO(h, 0, cfg.R)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	timeIt("block-parallel HiCOO+atomics", func() { _, _ = hp.ExecuteOMP(mats, cfg.Sched) })
+
+	// --- Scheduling policy for skewed fibers (host-measured Ttv) -----------
+	fmt.Println("\n(d) OpenMP scheduling policy for Ttv on skewed fibers (host wall-clock):")
+	tp, err := core.PrepareTtv(x, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fs := tensor.ComputeFiberStats(x, 0)
+	fmt.Printf("  fiber imbalance max/mean = %.1f over %d fibers\n", fs.Imbalance, fs.NumFibers)
+	v := tensor.NewVector(int(x.Dims[0]))
+	for i := range v {
+		v[i] = 1
+	}
+	for _, sched := range []parallel.Schedule{parallel.Static, parallel.Dynamic, parallel.Guided} {
+		opt := parallel.Options{Schedule: sched}
+		tp.ExecuteOMP(v, opt)
+		start := time.Now()
+		for i := 0; i < cfg.Runs; i++ {
+			tp.ExecuteOMP(v, opt)
+		}
+		el := time.Since(start).Seconds() / float64(cfg.Runs)
+		fmt.Printf("  schedule(%-7s) %10.4fms %10.3f GFLOPS\n", sched, el*1e3, float64(tp.FlopCount())/el/1e9)
+	}
+
+	// --- Modeled GPU block-imbalance sensitivity ---------------------------
+	fmt.Println("\n(e) Modeled HiCOO-Mttkrp GPU sensitivity to block imbalance (DGX-1P):")
+	ws := metrics.Workloads(x, cfg)
+	for _, imb := range []float64{1, 4, 16, 64} {
+		w2 := make([]perfmodel.Workload, len(ws))
+		copy(w2, ws)
+		for i := range w2 {
+			w2[i].BlockImbalance = imb
+		}
+		r := metrics.ModelFromWorkloads(&platform.DGX1P, w2, roofline.Mttkrp, roofline.HiCOO)
+		fmt.Printf("  block imbalance %5.0fx -> %8.3f GFLOPS\n", imb, r.GFLOPS)
+	}
+}

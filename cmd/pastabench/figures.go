@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/platform"
+	"repro/internal/roofline"
+)
+
+// jsonRow is one figure data point in the -json export.
+type jsonRow struct {
+	Tensor     string  `json:"tensor"`
+	Name       string  `json:"name"`
+	Dataset    string  `json:"dataset"` // "real" | "synthetic"
+	Kernel     string  `json:"kernel"`
+	Format     string  `json:"format"`
+	GFLOPS     float64 `json:"gflops"`
+	Roofline   float64 `json:"roofline_gflops"`
+	Efficiency float64 `json:"efficiency"`
+	Source     string  `json:"source"` // "modeled" | "measured"
+}
+
+// jsonFigure is the -json document for one figure.
+type jsonFigure struct {
+	Figure     string    `json:"figure"`
+	Platform   string    `json:"platform"`
+	PaperScale bool      `json:"paper_scale"`
+	StandInNNZ int       `json:"standin_nnz"`
+	Rows       []jsonRow `json:"rows"`
+}
+
+func writeFigureJSON(o options, fig string, doc jsonFigure) {
+	if o.jsonDir == "" {
+		return
+	}
+	if err := os.MkdirAll(o.jsonDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "json:", err)
+		return
+	}
+	path := filepath.Join(o.jsonDir, fig+".json")
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "json:", err)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "json:", err)
+		return
+	}
+	fmt.Printf("(series written to %s)\n", path)
+}
+
+// scaleWorkloads lifts stand-in-measured workloads to the paper's true
+// tensor sizes (Table 2/3) when -paper-scale is on, so the model runs in
+// the memory regime the paper evaluated.
+func scaleWorkloads(ws []perfmodel.Workload, e dataset.Entry, o options) []perfmodel.Workload {
+	if !o.paperScale {
+		return ws
+	}
+	out := make([]perfmodel.Workload, len(ws))
+	for i, w := range ws {
+		out[i] = w.ScaleTo(e.PaperNNZ, e.PaperDims)
+	}
+	return out
+}
+
+// runFigure3 reproduces Figure 3: Roofline models of the four platforms
+// with the kernels' operational intensities marked, plus (optionally
+// full-size) ERT measurements of the host.
+func runFigure3(o options) {
+	header("Figure 3: Roofline models with tensor-kernel operational intensities")
+	for _, p := range platform.All() {
+		c := roofline.BuildCurve(p, 1.0/32, 64, 12)
+		fmt.Print(roofline.FormatCurve(c))
+		marks := roofline.KernelMarks(p)
+		keys := make([]string, 0, len(marks))
+		for k := range marks {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return marks[keys[i]].OI < marks[keys[j]].OI })
+		fmt.Printf("kernel marks on ERT-DRAM roof:")
+		for _, k := range keys {
+			fmt.Printf("  %s(OI=%.3f -> %.1f GF/s)", k, marks[k].OI, marks[k].GFLOPS)
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+	fmt.Println("Host ERT (STREAM-style triad + FMA micro-kernels):")
+	h := roofline.MeasureHost(!o.ertFull)
+	fmt.Printf("  host: peak %.1f GFLOPS, DRAM %.1f GB/s, cache-resident %.1f GB/s (%d cores)\n",
+		h.PeakSPGFLOPS, h.ERTDRAMGBs, h.ERTLLCGBs, h.Cores)
+}
+
+// runFigure reproduces one of Figures 4-7: the five kernels × two formats
+// across the real and synthetic datasets on a single platform, with the
+// Roofline bound per tensor. Values for the paper's machines come from
+// the analytic model; pass -measure-host to add wall-clock host rows.
+func runFigure(o options, fig, platName string) {
+	p, err := platform.ByName(platName)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	scaleNote := "paper-scale workloads"
+	if !o.paperScale {
+		scaleNote = "stand-in-scale workloads"
+	}
+	header(fmt.Sprintf("Figure %s: single-precision kernel performance on %s (GFLOPS, modeled, %s)", fig[3:], platName, scaleNote))
+	cfg := benchConfig(o)
+
+	var host *platform.Platform
+	if o.measureHost {
+		h := roofline.MeasureHost(!o.ertFull)
+		host = &h
+		fmt.Printf("(host rows measured on %d-core host: peak %.1f GFLOPS, DRAM %.1f GB/s)\n",
+			host.Cores, host.PeakSPGFLOPS, host.ERTDRAMGBs)
+	}
+
+	charts := make(map[roofline.Kernel]*barChart, len(roofline.Kernels))
+	for _, k := range roofline.Kernels {
+		charts[k] = &barChart{title: fmt.Sprintf("%s on %s", k, platName)}
+	}
+	doc := jsonFigure{Figure: fig, Platform: platName, PaperScale: o.paperScale, StandInNNZ: o.nnz}
+
+	for _, group := range []struct {
+		title   string
+		entries []dataset.Entry
+	}{
+		{"(a) Real tensors", dataset.RealTensors()},
+		{"(b) Synthetic tensors", dataset.Synthetic()},
+	} {
+		fmt.Printf("\n%s\n", group.title)
+		fmt.Printf("%-5s %-9s", "No.", "Tensor")
+		for _, k := range roofline.Kernels {
+			fmt.Printf(" |%8s-C %8s-H", k, k)
+		}
+		fmt.Printf(" | %s\n", "Roofline(Tew..Mttkrp)")
+		for _, e := range group.entries {
+			x, err := dataset.Materialize(e, o.nnz, o.seed)
+			if err != nil {
+				fmt.Printf("%-5s %-9s error: %v\n", e.ID, e.Name, err)
+				continue
+			}
+			ws := scaleWorkloads(metrics.Workloads(x, cfg), e, o)
+			fmt.Printf("%-5s %-9s", e.ID, e.Name)
+			var roofs []float64
+			for _, k := range roofline.Kernels {
+				rc := metrics.ModelFromWorkloads(p, ws, k, roofline.COO)
+				rh := metrics.ModelFromWorkloads(p, ws, k, roofline.HiCOO)
+				fmt.Printf(" |%10.2f %10.2f", rc.GFLOPS, rh.GFLOPS)
+				roofs = append(roofs, rc.Roofline)
+				ch := charts[k]
+				ch.labels = append(ch.labels, e.ID+" "+e.Name)
+				ch.coo = append(ch.coo, rc.GFLOPS)
+				ch.hicoo = append(ch.hicoo, rh.GFLOPS)
+				ch.roof = append(ch.roof, rc.Roofline)
+				dsName := "real"
+				if e.ID[0] == 's' {
+					dsName = "synthetic"
+				}
+				for _, r := range []metrics.Result{rc, rh} {
+					doc.Rows = append(doc.Rows, jsonRow{
+						Tensor: e.ID, Name: e.Name, Dataset: dsName,
+						Kernel: k.String(), Format: r.Format.String(),
+						GFLOPS: r.GFLOPS, Roofline: r.Roofline,
+						Efficiency: r.Efficiency, Source: r.Source.String(),
+					})
+				}
+			}
+			fmt.Printf(" |")
+			for _, r := range roofs {
+				fmt.Printf(" %.1f", r)
+			}
+			fmt.Println()
+			if host != nil {
+				fmt.Printf("%-5s %-9s", "", "(host)")
+				for _, k := range roofline.Kernels {
+					mc, errC := metrics.MeasureHost(host, x, k, roofline.COO, cfg)
+					mh, errH := metrics.MeasureHost(host, x, k, roofline.HiCOO, cfg)
+					if errC != nil || errH != nil {
+						fmt.Printf(" |%10s %10s", "err", "err")
+						continue
+					}
+					fmt.Printf(" |%10.2f %10.2f", mc.GFLOPS, mh.GFLOPS)
+				}
+				fmt.Println(" | measured")
+			}
+		}
+	}
+	fmt.Println("\nColumns: <kernel>-C = COO, <kernel>-H = HiCOO; Roofline = per-tensor attainable bound (COO OI).")
+	writeFigureJSON(o, fig, doc)
+	if o.plot {
+		for _, k := range roofline.Kernels {
+			fmt.Println()
+			fmt.Print(charts[k].render())
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command pastabench regenerates the paper's tables and figures: the
+// kernel analysis of Table 1, the datasets of Tables 2-3, the platforms
+// of Table 4, the Roofline models of Figure 3, the per-platform kernel
+// performance of Figures 4-7 (analytic model for the paper's machines,
+// optionally wall-clock measurement on the host), the five observations
+// of §5.3, and the ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	pastabench -exp all                # everything
+//	pastabench -exp table1,fig4       # selected experiments
+//	pastabench -exp fig4 -measure-host # add host-measured rows
+//	pastabench -exp fig4 -nnz 200000   # larger stand-ins
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type options struct {
+	nnz         int
+	seed        int64
+	runs        int
+	r           int
+	blockBits   uint
+	measureHost bool
+	ertFull     bool
+	paperScale  bool
+	plot        bool
+	jsonDir     string
+}
+
+func main() {
+	var (
+		exp = flag.String("exp", "all", "experiments: table1,table2,table3,table4,fig3,fig4,fig5,fig6,fig7,observations,ablation,all")
+		o   options
+	)
+	flag.IntVar(&o.nnz, "nnz", 50000, "target non-zeros for dataset stand-ins")
+	flag.Int64Var(&o.seed, "seed", 20200222, "generator seed")
+	flag.IntVar(&o.runs, "runs", 5, "timed repetitions per host measurement")
+	flag.IntVar(&o.r, "r", 16, "factor matrix columns (paper: 16)")
+	flag.UintVar(&o.blockBits, "blockbits", 7, "log2 of the HiCOO block size (paper: 7 -> B=128)")
+	flag.BoolVar(&o.measureHost, "measure-host", false, "also wall-clock-measure kernels on the host for fig4-7")
+	flag.BoolVar(&o.ertFull, "ert-full", false, "run the full-size ERT micro-benchmarks (slower)")
+	flag.BoolVar(&o.paperScale, "paper-scale", true, "scale modeled workloads to the Table 2/3 paper sizes (structure measured on stand-ins)")
+	flag.BoolVar(&o.plot, "plot", false, "render figures 4-7 as ASCII bar charts after the tables")
+	flag.StringVar(&o.jsonDir, "json", "", "also write each figure's series as JSON into this directory")
+	flag.Parse()
+
+	known := map[string]func(options){
+		"table1":       runTable1,
+		"table2":       runTable2,
+		"table3":       runTable3,
+		"table4":       runTable4,
+		"fig3":         runFigure3,
+		"fig4":         func(o options) { runFigure(o, "fig4", "Bluesky") },
+		"fig5":         func(o options) { runFigure(o, "fig5", "Wingtip") },
+		"fig6":         func(o options) { runFigure(o, "fig6", "DGX-1P") },
+		"fig7":         func(o options) { runFigure(o, "fig7", "DGX-1V") },
+		"observations": runObservations,
+		"ablation":     runAblations,
+	}
+	order := []string{"table1", "table2", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "observations", "ablation"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		for _, e := range strings.Split(*exp, ",") {
+			e = strings.TrimSpace(e)
+			if _, ok := known[e]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s, all\n", e, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		known[e](o)
+		fmt.Println()
+	}
+}
+
+func header(title string) {
+	bar := strings.Repeat("=", len(title))
+	fmt.Printf("%s\n%s\n", title, bar)
+}

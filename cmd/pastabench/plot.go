@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// barChart renders one kernel's figure panel as ASCII bars: per tensor, a
+// COO bar (#), a HiCOO bar (=), and the Roofline bound (|) on a log scale
+// — the textual analog of the paper's Figures 4-7 panels.
+type barChart struct {
+	title  string
+	labels []string
+	coo    []float64
+	hicoo  []float64
+	roof   []float64
+}
+
+const barWidth = 56
+
+func (c *barChart) render() string {
+	// Log scale spanning the data, floored one decade below the minimum.
+	maxV := 0.0
+	minV := math.Inf(1)
+	for i := range c.coo {
+		for _, v := range []float64{c.coo[i], c.hicoo[i], c.roof[i]} {
+			if v > maxV {
+				maxV = v
+			}
+			if v > 0 && v < minV {
+				minV = v
+			}
+		}
+	}
+	if maxV <= 0 || math.IsInf(minV, 1) {
+		return c.title + ": no data\n"
+	}
+	lo := math.Floor(math.Log10(minV))
+	hi := math.Ceil(math.Log10(maxV))
+	if hi <= lo {
+		hi = lo + 1
+	}
+	pos := func(v float64) int {
+		if v <= 0 {
+			return 0
+		}
+		f := (math.Log10(v) - lo) / (hi - lo)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		return int(f * float64(barWidth))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [log scale 1e%.0f .. 1e%.0f GFLOPS; #=COO ==HiCOO |=Roofline]\n", c.title, lo, hi)
+	for i, label := range c.labels {
+		cooBar := bar('#', pos(c.coo[i]), pos(c.roof[i]))
+		hicooBar := bar('=', pos(c.hicoo[i]), pos(c.roof[i]))
+		fmt.Fprintf(&b, "%-9s %s %8.2f\n", label, cooBar, c.coo[i])
+		fmt.Fprintf(&b, "%-9s %s %8.2f\n", "", hicooBar, c.hicoo[i])
+	}
+	return b.String()
+}
+
+// bar draws a filled bar of length n with a roofline marker at r.
+func bar(ch byte, n, r int) string {
+	buf := make([]byte, barWidth+1)
+	for i := range buf {
+		switch {
+		case i < n:
+			buf[i] = ch
+		case i == r && r >= n:
+			buf[i] = '|'
+		default:
+			buf[i] = ' '
+		}
+	}
+	if r < n && r >= 0 && r < len(buf) {
+		// Roofline inside the bar (above-Roofline case): mark it anyway.
+		buf[r] = '|'
+	}
+	return string(buf)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartRender(t *testing.T) {
+	c := &barChart{
+		title:  "Test kernel",
+		labels: []string{"a", "b"},
+		coo:    []float64{1, 100},
+		hicoo:  []float64{2, 50},
+		roof:   []float64{10, 10},
+	}
+	out := c.render()
+	if !strings.Contains(out, "Test kernel") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+2*len(c.labels) {
+		t.Fatalf("got %d lines, want %d", len(lines), 1+2*len(c.labels))
+	}
+	// The 100-GFLOPS bar must be longer than the 1-GFLOPS bar.
+	if strings.Count(lines[3], "#") <= strings.Count(lines[1], "#") {
+		t.Fatal("bar lengths not monotone in value")
+	}
+	// Roofline markers present.
+	if !strings.Contains(lines[1], "|") {
+		t.Fatal("missing roofline marker")
+	}
+}
+
+func TestBarChartDegenerate(t *testing.T) {
+	c := &barChart{title: "empty"}
+	if out := c.render(); !strings.Contains(out, "no data") {
+		t.Fatalf("degenerate chart output %q", out)
+	}
+	z := &barChart{title: "zeros", labels: []string{"x"}, coo: []float64{0}, hicoo: []float64{0}, roof: []float64{0}}
+	if out := z.render(); !strings.Contains(out, "no data") {
+		t.Fatalf("zero chart output %q", out)
+	}
+}
+
+func TestBarHelper(t *testing.T) {
+	s := bar('#', 5, 10)
+	if !strings.HasPrefix(s, "#####") {
+		t.Fatalf("bar = %q", s)
+	}
+	if s[10] != '|' {
+		t.Fatalf("marker missing: %q", s)
+	}
+	// Above-roofline: marker lands inside the bar.
+	s2 := bar('#', 20, 5)
+	if s2[5] != '|' {
+		t.Fatalf("inside marker missing: %q", s2)
+	}
+}

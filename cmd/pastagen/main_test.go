@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseDims(t *testing.T) {
+	dims, err := parseDims("4,5,6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != 3 || dims[0] != 4 || dims[1] != 5 || dims[2] != 6 {
+		t.Fatalf("dims = %v", dims)
+	}
+	dims, err = parseDims(" 10 , 20 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims[0] != 10 || dims[1] != 20 {
+		t.Fatalf("dims with spaces = %v", dims)
+	}
+	for _, bad := range []string{"", "a,b", "0,1", "-3,4", "1,2,99999999999999"} {
+		if _, err := parseDims(bad); err == nil {
+			t.Errorf("parseDims(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseModes(t *testing.T) {
+	modes, err := parseModes("0,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modes) != 2 || modes[0] != 0 || modes[1] != 2 {
+		t.Fatalf("modes = %v", modes)
+	}
+	for _, bad := range []string{"", "x"} {
+		if _, err := parseModes(bad); err == nil {
+			t.Errorf("parseModes(%q): expected error", bad)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Command pastainfo inspects a sparse tensor — a .tns file or a Table 2/3
+// dataset entry — reporting its shape, density, per-mode fiber statistics,
+// and storage footprint in every format the suite implements (COO, HiCOO,
+// gHiCOO, CSF).
+//
+// Usage:
+//
+//	pastainfo -f tensor.tns
+//	pastainfo -id deli -nnz 100000     # a scaled Table 2 stand-in
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/csf"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/hicoo"
+	"repro/internal/reorder"
+	"repro/internal/tensor"
+)
+
+func main() {
+	var (
+		file       = flag.String("f", "", "path to a .tns file")
+		id         = flag.String("id", "", "dataset entry ID or name (Table 2/3)")
+		nnz        = flag.Int("nnz", 100000, "stand-in non-zero target when using -id")
+		seed       = flag.Int64("seed", 1, "stand-in seed")
+		blockBits  = flag.Uint("blockbits", uint(hicoo.DefaultBlockBits), "log2 HiCOO block size")
+		reorderCmp = flag.Bool("reorder", false, "compare index orderings (identity/random/degree/first-touch) by HiCOO block count")
+	)
+	flag.Parse()
+
+	var (
+		x   *tensor.COO
+		err error
+	)
+	switch {
+	case *file != "":
+		x, err = tensor.ReadFile(*file)
+	case *id != "":
+		var e dataset.Entry
+		e, err = dataset.ByID(*id)
+		if err == nil {
+			x, err = dataset.Materialize(e, *nnz, *seed)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "pastainfo: need -f <file.tns> or -id <dataset entry>")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("tensor:  %v\n", x)
+	fmt.Printf("order:   %d\n", x.Order())
+	fmt.Printf("dims:    %v\n", x.Dims)
+	fmt.Printf("nnz:     %d\n", x.NNZ())
+	fmt.Printf("density: %.3g\n\n", x.Density())
+
+	fmt.Println("per-mode structure:")
+	fmt.Printf("%6s %12s %10s %10s %12s %12s %10s\n", "mode", "fibers", "min len", "max len", "imbalance", "collisions", "skew")
+	for n := 0; n < x.Order(); n++ {
+		fs := tensor.ComputeFiberStats(x, n)
+		fmt.Printf("%6d %12d %10d %10d %12.2f %12.2f %10.2f\n",
+			n, fs.NumFibers, fs.MinLen, fs.MaxLen, fs.Imbalance,
+			tensor.ModeCollisions(x, n), gen.DegreeSkew(x, n))
+	}
+
+	bits := uint8(*blockBits)
+	h := hicoo.FromCOO(x, bits)
+	st := h.ComputeStats()
+	c, cerr := csf.FromCOO(x, nil)
+
+	fmt.Println("\nformat storage:")
+	fmt.Printf("%-28s %14d bytes\n", "COO  4(N+1)M", x.StorageBytes())
+	fmt.Printf("%-28s %14d bytes  (%.2fx vs COO, %d blocks, %.1f%% singleton)\n",
+		fmt.Sprintf("HiCOO B=%d", 1<<bits), st.StorageBytes, st.CompressionVsCOO,
+		st.NumBlocks, 100*float64(st.SingletonBlocks)/float64(max(1, st.NumBlocks)))
+	for mode := 0; mode < x.Order(); mode++ {
+		g := hicoo.FromCOOExceptMode(x, mode, bits)
+		fmt.Printf("%-28s %14d bytes\n", fmt.Sprintf("gHiCOO (mode %d uncomp.)", mode), g.StorageBytes())
+	}
+	if cerr == nil {
+		fmt.Printf("%-28s %14d bytes\n", "CSF (natural order)", c.StorageBytes())
+	}
+
+	if *reorderCmp {
+		fmt.Println("\nindex-reordering comparison (HiCOO block count, fewer = better locality):")
+		rng := rand.New(rand.NewSource(int64(*seed)))
+		orderings := []struct {
+			name string
+			p    *reorder.Perm
+		}{
+			{"identity", reorder.Identity(x.Dims)},
+			{"random", reorder.Random(x.Dims, rng)},
+			{"by-degree", reorder.ByDegree(x)},
+			{"first-touch", reorder.FirstTouch(x)},
+		}
+		for _, o := range orderings {
+			y, err := o.p.Apply(x)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			st2 := hicoo.FromCOO(y, bits).ComputeStats()
+			fmt.Printf("  %-12s %8d blocks, mean occupancy %7.2f, storage %10d bytes\n",
+				o.name, st2.NumBlocks, st2.MeanNNZPerBlock, st2.StorageBytes)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command pastaroofline is the suite's ERT analog (§5.2): it measures the
+// host's sustainable bandwidth and peak FLOPS with STREAM-style
+// micro-kernels, then prints Roofline curves for the host and the paper's
+// four platforms with the five kernels' operational intensities marked —
+// the data behind Figure 3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/roofline"
+)
+
+func main() {
+	var (
+		full   = flag.Bool("full", false, "run full-size micro-benchmarks (slower, more accurate)")
+		points = flag.Int("points", 16, "samples per Roofline curve")
+		noHost = flag.Bool("no-host", false, "skip the host measurement")
+	)
+	flag.Parse()
+
+	plats := platform.All()
+	if !*noHost {
+		fmt.Println("measuring host with ERT-style micro-kernels...")
+		h := roofline.MeasureHost(!*full)
+		fmt.Printf("host: %d cores, peak %.1f GFLOPS (sustained FMA), DRAM %.2f GB/s, cache %.2f GB/s\n\n",
+			h.Cores, h.PeakSPGFLOPS, h.ERTDRAMGBs, h.ERTLLCGBs)
+		plats = append(plats, &h)
+	}
+
+	for _, p := range plats {
+		c := roofline.BuildCurve(p, 1.0/32, 128, *points)
+		fmt.Print(roofline.FormatCurve(c))
+		marks := roofline.KernelMarks(p)
+		names := make([]string, 0, len(marks))
+		for k := range marks {
+			names = append(names, k)
+		}
+		sort.Slice(names, func(i, j int) bool { return marks[names[i]].OI < marks[names[j]].OI })
+		fmt.Println("kernel operational intensities (Table 1 asymptotic):")
+		for _, k := range names {
+			pt := marks[k]
+			fmt.Printf("  %-8s OI=%6.4f -> attainable %8.2f GFLOPS\n", k, pt.OI, pt.GFLOPS)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,276 @@
+// Command pastaverify is the suite's self-check: it generates tensors
+// across the density spectrum (plus any .tns file the user supplies) and
+// cross-validates every implementation of every kernel — sequential vs
+// OpenMP-style vs simulated-GPU, COO vs HiCOO vs CSF, single- vs
+// multi-device — reporting the worst relative deviation per kernel.
+// Reference benchmark suites ship exactly this kind of validation mode so
+// ports to new hardware can be trusted before they are timed.
+//
+// Exit status is non-zero if any check exceeds the tolerance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/csf"
+	"repro/internal/gen"
+	"repro/internal/gpusim"
+	"repro/internal/hicoo"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+var failures int
+
+func main() {
+	var (
+		nnz  = flag.Int("nnz", 20000, "non-zeros per generated test tensor")
+		seed = flag.Int64("seed", 1, "generator seed")
+		tol  = flag.Float64("tol", 2e-3, "relative tolerance between implementations")
+		file = flag.String("f", "", "also verify against a user-supplied .tns file")
+	)
+	flag.Parse()
+
+	type tc struct {
+		name string
+		x    *tensor.COO
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var cases []tc
+
+	kron, err := gen.Kronecker([]tensor.Index{1 << 12, 1 << 12, 1 << 12}, *nnz, nil, rng)
+	must(err)
+	cases = append(cases, tc{"kronecker-3d", kron})
+
+	pl, err := gen.PowerLaw(gen.PowerLawConfig{
+		Dims: []tensor.Index{20000, 20000, 48}, SparseModes: []int{0, 1}, NNZ: *nnz,
+	}, rng)
+	must(err)
+	cases = append(cases, tc{"powerlaw-3d", pl})
+
+	pl4, err := gen.PowerLaw(gen.PowerLawConfig{
+		Dims: []tensor.Index{4000, 4000, 24, 16}, SparseModes: []int{0, 1}, NNZ: *nnz,
+	}, rng)
+	must(err)
+	cases = append(cases, tc{"powerlaw-4d", pl4})
+
+	cases = append(cases, tc{"uniform-dense-ish",
+		tensor.RandomCOO([]tensor.Index{96, 96, 96}, *nnz, rng)})
+
+	if *file != "" {
+		x, err := tensor.ReadTNSFile(*file)
+		must(err)
+		cases = append(cases, tc{*file, x})
+	}
+
+	dev := gpusim.NewDevice("verify", 0)
+	devs := []*gpusim.Device{gpusim.NewDevice("v0", 4), gpusim.NewDevice("v1", 4)}
+	opt := parallel.Options{Schedule: parallel.Dynamic}
+
+	for _, c := range cases {
+		fmt.Printf("== %s: %v\n", c.name, c.x)
+		verifyTensor(c.x, dev, devs, opt, *tol, rng)
+		fmt.Println()
+	}
+	if failures > 0 {
+		fmt.Printf("FAILED: %d checks exceeded tolerance\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all implementations agree")
+}
+
+func verifyTensor(x *tensor.COO, dev *gpusim.Device, devs []*gpusim.Device, opt parallel.Options, tol float64, rng *rand.Rand) {
+	r := core.DefaultR
+	h := hicoo.FromCOO(x, hicoo.DefaultBlockBits)
+
+	// ---- Tew ------------------------------------------------------------
+	y := x.Clone()
+	for i := range y.Vals {
+		y.Vals[i] = tensor.Value(1 - rng.Float64())
+	}
+	hy := hicoo.FromCOO(y, hicoo.DefaultBlockBits)
+	tp, err := core.PrepareTew(x, y, core.Add)
+	must(err)
+	ref := append([]tensor.Value(nil), tp.ExecuteSeq().Vals...)
+	tp.ExecuteOMP(opt)
+	report("Tew", "omp-vs-seq", sliceDev(ref, tp.Out.Vals), tol)
+	tp.ExecuteGPU(dev)
+	report("Tew", "gpu-vs-seq", sliceDev(ref, tp.Out.Vals), tol)
+	hp, err := core.PrepareTewHiCOO(h, hy, core.Add)
+	must(err)
+	hz := hp.ExecuteSeq()
+	report("Tew", "hicoo-vs-coo", mapDev(cooMap(tp.Out), cooMap(hz.ToCOO())), tol)
+
+	// ---- Ts -------------------------------------------------------------
+	sp, err := core.PrepareTs(x, 1.37, core.Mul)
+	must(err)
+	refTs := append([]tensor.Value(nil), sp.ExecuteSeq().Vals...)
+	sp.ExecuteOMP(opt)
+	report("Ts", "omp-vs-seq", sliceDev(refTs, sp.Out.Vals), tol)
+	sp.ExecuteGPU(dev)
+	report("Ts", "gpu-vs-seq", sliceDev(refTs, sp.Out.Vals), tol)
+
+	// ---- Ttv (every mode) -------------------------------------------------
+	for mode := 0; mode < x.Order(); mode++ {
+		v := tensor.RandomVector(int(x.Dims[mode]), rng)
+		p, err := core.PrepareTtv(x, mode)
+		must(err)
+		seq, err := p.ExecuteSeq(v)
+		must(err)
+		refV := append([]tensor.Value(nil), seq.Vals...)
+		_, err = p.ExecuteOMP(v, opt)
+		must(err)
+		report("Ttv", fmt.Sprintf("omp-vs-seq m%d", mode), sliceDev(refV, p.Out.Vals), tol)
+		_, err = p.ExecuteGPU(dev, v)
+		must(err)
+		report("Ttv", fmt.Sprintf("gpu-vs-seq m%d", mode), sliceDev(refV, p.Out.Vals), tol)
+		_, err = p.ExecuteMultiGPU(devs, v)
+		must(err)
+		report("Ttv", fmt.Sprintf("multigpu m%d", mode), sliceDev(refV, p.Out.Vals), tol)
+		hpv, err := core.PrepareTtvHiCOO(x, mode, hicoo.DefaultBlockBits)
+		must(err)
+		hv, err := hpv.ExecuteSeq(v)
+		must(err)
+		report("Ttv", fmt.Sprintf("hicoo-vs-coo m%d", mode), mapDev(cooMap(seq), cooMap(hv.ToCOO())), tol)
+		// CSF leaf-mode Ttv.
+		mo := []int{}
+		for n := 0; n < x.Order(); n++ {
+			if n != mode {
+				mo = append(mo, n)
+			}
+		}
+		cs, err := csf.FromCOO(x, append(mo, mode))
+		must(err)
+		cv, err := cs.TtvLeaf(v, opt)
+		must(err)
+		report("Ttv", fmt.Sprintf("csf-vs-coo m%d", mode), mapDev(cooMap(seq), cooMap(cv)), tol)
+	}
+
+	// ---- Ttm (mode 0) -----------------------------------------------------
+	u := tensor.NewMatrix(int(x.Dims[0]), r)
+	u.Randomize(rng)
+	mp, err := core.PrepareTtm(x, 0, r)
+	must(err)
+	seqM, err := mp.ExecuteSeq(u)
+	must(err)
+	refM := append([]tensor.Value(nil), seqM.Vals...)
+	_, err = mp.ExecuteOMP(u, opt)
+	must(err)
+	report("Ttm", "omp-vs-seq", sliceDev(refM, mp.Out.Vals), tol)
+	_, err = mp.ExecuteGPU(dev, u)
+	must(err)
+	report("Ttm", "gpu-vs-seq", sliceDev(refM, mp.Out.Vals), tol)
+	hm, err := core.PrepareTtmHiCOO(x, 0, r, hicoo.DefaultBlockBits)
+	must(err)
+	hmOut, err := hm.ExecuteSeq(u)
+	must(err)
+	report("Ttm", "hicoo-vs-coo", mapDev(cooMap(seqM.ToCOO()), cooMap(hmOut.ToSemiCOO().ToCOO())), tol)
+
+	// ---- Mttkrp (mode 0) ----------------------------------------------------
+	mats := make([]*tensor.Matrix, x.Order())
+	for n := range mats {
+		mats[n] = tensor.NewMatrix(int(x.Dims[n]), r)
+		mats[n].Randomize(rng)
+	}
+	kp, err := core.PrepareMttkrp(x, 0, r)
+	must(err)
+	seqK, err := kp.ExecuteSeq(mats)
+	must(err)
+	refK := append([]tensor.Value(nil), seqK.Data...)
+	_, err = kp.ExecuteOMP(mats, opt)
+	must(err)
+	report("Mttkrp", "omp-atomic", sliceDev(refK, kp.Out.Data), tol)
+	_, err = kp.ExecuteOMPPrivatized(mats, opt)
+	must(err)
+	report("Mttkrp", "omp-privatized", sliceDev(refK, kp.Out.Data), tol)
+	_, err = kp.ExecuteGPU(dev, mats)
+	must(err)
+	report("Mttkrp", "gpu", sliceDev(refK, kp.Out.Data), tol)
+	_, err = kp.ExecuteMultiGPU(devs, mats)
+	must(err)
+	report("Mttkrp", "multigpu", sliceDev(refK, kp.Out.Data), tol)
+	hk, err := core.PrepareMttkrpHiCOO(h, 0, r)
+	must(err)
+	hkOut, err := hk.ExecuteSeq(mats)
+	must(err)
+	report("Mttkrp", "hicoo", sliceDev(refK, hkOut.Data), tol)
+	cs, err := csf.FromCOO(x, nil)
+	must(err)
+	csOut, err := cs.MttkrpRoot(mats, opt)
+	must(err)
+	report("Mttkrp", "csf-root", sliceDev(refK, csOut.Data), tol)
+	bOut, err := cs.MttkrpRootBalanced(mats, opt, 0)
+	must(err)
+	report("Mttkrp", "bcsf-balanced", sliceDev(refK, bOut.Data), tol)
+}
+
+// sliceDev returns the worst relative deviation between two parallel
+// value slices.
+func sliceDev(a, b []tensor.Value) float64 {
+	var worst float64
+	for i := range a {
+		d := relDev(float64(a[i]), float64(b[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func cooMap(t *tensor.COO) map[string]float64 {
+	m := make(map[string]float64, t.NNZ())
+	idx := make([]tensor.Index, t.Order())
+	for x := 0; x < t.NNZ(); x++ {
+		v := t.Entry(x, idx)
+		m[fmt.Sprint(idx)] += float64(v)
+	}
+	return m
+}
+
+// mapDev returns the worst relative deviation between coordinate maps.
+func mapDev(a, b map[string]float64) float64 {
+	var worst float64
+	for k, av := range a {
+		if d := relDev(av, b[k]); d > worst {
+			worst = d
+		}
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			if d := relDev(0, bv); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func relDev(a, b float64) float64 {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return d / scale
+}
+
+func report(kernel, check string, dev, tol float64) {
+	status := "ok"
+	if dev > tol {
+		status = "FAIL"
+		failures++
+	}
+	fmt.Printf("  %-7s %-22s max rel dev %.2e  [%s]\n", kernel, check, dev, status)
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

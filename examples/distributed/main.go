@@ -1,0 +1,61 @@
+// Command distributed runs the message-passing Mttkrp across simulated
+// ranks (goroutines exchanging messages over a ring), demonstrating the
+// §7 "distributed systems" extension: sharded non-zeros, a real ring
+// allreduce with measured communication volume, and the alpha-beta model
+// that prices it on a 100 Gb/s interconnect.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pasta "repro"
+)
+
+func main() {
+	rng := pasta.GenerateSeeded(5)
+	x, err := pasta.Kronecker([]pasta.Index{4096, 4096, 4096}, 200_000, nil, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := pasta.DefaultR
+	mats := make([]*pasta.Matrix, x.Order())
+	for n := range mats {
+		mats[n] = pasta.NewMatrix(int(x.Dim(n)), r)
+		mats[n].Randomize(rng)
+	}
+	fmt.Printf("tensor: %v, R=%d\n\n", x, r)
+
+	// Single-node reference.
+	ref, err := pasta.Mttkrp(x, mats, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%6s %14s %10s %16s %12s\n", "ranks", "comm bytes", "messages", "modeled comm", "max |err|")
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		comm, err := pasta.NewComm(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := pasta.DistMttkrp(comm, pasta.DefaultNetwork, x, mats, 0, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var worst float64
+		for i := range ref.Data {
+			d := float64(res.Out.Data[i] - ref.Data[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		_, msgs := comm.Stats()
+		fmt.Printf("%6d %14d %10d %13.3fms %12.2e\n",
+			p, res.CommBytes, msgs, res.ModeledCommSec*1e3, worst)
+	}
+	fmt.Println("\ncommunication grows as 2·|Ã|·(P-1)/P per rank — the ring allreduce volume;")
+	fmt.Println("results match the single-node kernel to float32 reduction-order noise.")
+}

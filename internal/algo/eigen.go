@@ -1,0 +1,99 @@
+package algo
+
+import (
+	"fmt"
+	"math"
+)
+
+// jacobiEigen computes the eigendecomposition of a symmetric n×n matrix
+// (row-major float64) with the cyclic Jacobi method: returns eigenvalues
+// in descending order and the corresponding orthonormal eigenvectors as
+// the COLUMNS of the returned row-major n×n matrix. Intended for the
+// small Gram matrices of Tucker-HOOI (n up to a few hundred).
+func jacobiEigen(a []float64, n int) (vals []float64, vecs []float64, err error) {
+	if len(a) != n*n {
+		return nil, nil, fmt.Errorf("algo: jacobiEigen got %d entries for n=%d", len(a), n)
+	}
+	m := make([]float64, n*n)
+	copy(m, a)
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius norm.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i*n+j] * m[i*n+j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := m[p*n+p]
+				aqq := m[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/columns p and q of m.
+				for k := 0; k < n; k++ {
+					akp := m[k*n+p]
+					akq := m[k*n+q]
+					m[k*n+p] = c*akp - s*akq
+					m[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk := m[p*n+k]
+					aqk := m[q*n+k]
+					m[p*n+k] = c*apk - s*aqk
+					m[q*n+k] = s*apk + c*aqk
+				}
+				// Accumulate the rotation into the eigenvector matrix.
+				for k := 0; k < n; k++ {
+					vkp := v[k*n+p]
+					vkq := v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+
+	// Extract eigenvalues and sort descending (reordering columns of v).
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m[i*n+i]
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ { // simple selection sort; n is small
+		best := i
+		for j := i + 1; j < n; j++ {
+			if vals[order[j]] > vals[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	sortedVals := make([]float64, n)
+	sortedVecs := make([]float64, n*n)
+	for newCol, oldCol := range order {
+		sortedVals[newCol] = vals[oldCol]
+		for k := 0; k < n; k++ {
+			sortedVecs[k*n+newCol] = v[k*n+oldCol]
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}

@@ -1,0 +1,106 @@
+// Package algo builds the tensor methods that motivate the benchmark
+// kernels (§2): CANDECOMP/PARAFAC decomposition via alternating least
+// squares (CP-ALS, whose bottleneck is Mttkrp), the higher-order power
+// method (rank-1 decomposition via Ttv chains, §2.3), and the Tucker-style
+// TTM-chain (§7). They serve both as extension features and as end-to-end
+// consumers of the kernel implementations.
+package algo
+
+import (
+	"fmt"
+	"math"
+)
+
+// solveSymmetric solves A·X = B for X where A is an n×n symmetric
+// positive-semidefinite matrix (row-major float64) and B is m×n row-major
+// (each row an independent right-hand side, i.e. it computes B·A⁻¹ for
+// row-vectors). A tiny ridge is added on pivot breakdown, the standard
+// CP-ALS guard against rank-deficient Gram products.
+func solveSymmetric(a []float64, n int, b []float64, m int) error {
+	// Work on a copy of A with partial pivoting; apply the same row ops to
+	// an identity to build A⁻¹, then multiply.
+	inv, err := invertSPD(a, n)
+	if err != nil {
+		return err
+	}
+	tmp := make([]float64, n)
+	for r := 0; r < m; r++ {
+		row := b[r*n : (r+1)*n]
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += row[k] * inv[k*n+j]
+			}
+			tmp[j] = s
+		}
+		copy(row, tmp)
+	}
+	return nil
+}
+
+// invertSPD inverts a symmetric positive-(semi)definite matrix with
+// Gauss-Jordan elimination and partial pivoting, retrying with a ridge on
+// singular input.
+func invertSPD(a []float64, n int) ([]float64, error) {
+	for _, ridge := range []float64{0, 1e-12, 1e-8, 1e-4} {
+		m := make([]float64, n*n)
+		copy(m, a)
+		for i := 0; i < n; i++ {
+			m[i*n+i] += ridge
+		}
+		inv, ok := gaussJordan(m, n)
+		if ok {
+			return inv, nil
+		}
+	}
+	return nil, fmt.Errorf("algo: gram matrix numerically singular")
+}
+
+func gaussJordan(m []float64, n int) ([]float64, bool) {
+	inv := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		inv[i*n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p := col
+		best := math.Abs(m[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r*n+col]); v > best {
+				best, p = v, r
+			}
+		}
+		if best < 1e-300 {
+			return nil, false
+		}
+		if p != col {
+			swapRows(m, n, p, col)
+			swapRows(inv, n, p, col)
+		}
+		piv := m[col*n+col]
+		for j := 0; j < n; j++ {
+			m[col*n+j] /= piv
+			inv[col*n+j] /= piv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r*n+col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				m[r*n+j] -= f * m[col*n+j]
+				inv[r*n+j] -= f * inv[col*n+j]
+			}
+		}
+	}
+	return inv, true
+}
+
+func swapRows(m []float64, n, a, b int) {
+	for j := 0; j < n; j++ {
+		m[a*n+j], m[b*n+j] = m[b*n+j], m[a*n+j]
+	}
+}

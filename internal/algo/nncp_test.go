@@ -1,0 +1,79 @@
+package algo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+func TestNNCPRecoversNonnegativeLowRank(t *testing.T) {
+	// lowRankTensor uses uniform (0,1) factors, so the tensor is
+	// nonnegative with an exact rank-2 structure.
+	x, _ := lowRankTensor([]int{10, 9, 8}, 2, 31)
+	res, err := NNCP(x, 2, 400, 1e-9, 5, parallel.Options{Schedule: parallel.Static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit < 0.99 {
+		t.Fatalf("NNCP fit %v on an exactly rank-2 nonnegative tensor (iters=%d)", res.Fit, res.Iters)
+	}
+	// Factors must be nonnegative.
+	for n, f := range res.Factors {
+		for _, v := range f.Data {
+			if v < 0 {
+				t.Fatalf("factor %d has negative entry %v", n, v)
+			}
+		}
+	}
+	// Reconstruction matches at sample points.
+	for _, c := range [][]tensor.Index{{0, 0, 0}, {4, 4, 4}, {9, 8, 7}} {
+		want, _ := x.At(c...)
+		got := res.ReconstructAt(c)
+		if math.Abs(got-float64(want)) > 0.05*math.Max(1, math.Abs(float64(want))) {
+			t.Fatalf("reconstruct at %v = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestNNCPImprovesFitOnSparseData(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	x := tensor.RandomCOO([]tensor.Index{30, 25, 20}, 700, rng) // values in (0,1]
+	res, err := NNCP(x, 6, 40, 1e-6, 2, parallel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit <= 0 || res.Fit > 1 {
+		t.Fatalf("fit %v outside (0,1]", res.Fit)
+	}
+}
+
+func TestNNCPErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	x := tensor.RandomCOO([]tensor.Index{5, 5, 5}, 20, rng)
+	if _, err := NNCP(x, 0, 10, 1e-6, 1, parallel.Options{}); err == nil {
+		t.Fatal("expected rank error")
+	}
+	neg := x.Clone()
+	neg.Vals[0] = -1
+	if _, err := NNCP(neg, 2, 10, 1e-6, 1, parallel.Options{}); err == nil {
+		t.Fatal("expected nonnegativity error")
+	}
+	z := tensor.NewCOO([]tensor.Index{4, 4}, 0)
+	if _, err := NNCP(z, 2, 10, 1e-6, 1, parallel.Options{}); err == nil {
+		t.Fatal("expected zero-tensor error")
+	}
+}
+
+func TestNNCPOrder4(t *testing.T) {
+	x, _ := lowRankTensor([]int{6, 5, 4, 5}, 2, 35)
+	res, err := NNCP(x, 3, 200, 1e-8, 7, parallel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit < 0.98 {
+		t.Fatalf("order-4 NNCP fit %v", res.Fit)
+	}
+}

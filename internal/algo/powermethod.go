@@ -1,0 +1,104 @@
+package algo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// TtvChain contracts every mode except skip against the corresponding
+// vector, returning the dense result along mode skip: y = X ×₁ v₁ …
+// (omitting ×_skip) … ×_N v_N. It is the inner step of the tensor power
+// method (§2.3) and exercises the Ttv kernel repeatedly on shrinking
+// tensors. vecs[skip] is ignored and may be nil.
+func TtvChain(x *tensor.COO, vecs []tensor.Vector, skip int) (tensor.Vector, error) {
+	if len(vecs) != x.Order() {
+		return nil, fmt.Errorf("algo: TtvChain got %d vectors for order-%d tensor", len(vecs), x.Order())
+	}
+	if skip < 0 || skip >= x.Order() {
+		return nil, fmt.Errorf("algo: TtvChain skip mode %d out of range", skip)
+	}
+	cur := x
+	// Contract modes in descending original-mode order: every mode still
+	// to be processed then keeps its original position in the shrinking
+	// tensor, so the Ttv mode is simply n at each step.
+	for n := x.Order() - 1; n >= 0; n-- {
+		if n == skip {
+			continue
+		}
+		v := vecs[n]
+		if len(v) != int(x.Dims[n]) {
+			return nil, fmt.Errorf("algo: TtvChain vector %d has length %d, want %d", n, len(v), x.Dims[n])
+		}
+		y, err := core.Ttv(cur, v, n)
+		if err != nil {
+			return nil, err
+		}
+		cur = y
+	}
+	// cur is now an order-1 sparse tensor along mode skip.
+	out := tensor.NewVector(int(x.Dims[skip]))
+	for m := 0; m < cur.NNZ(); m++ {
+		out[cur.Inds[0][m]] += cur.Vals[m]
+	}
+	return out, nil
+}
+
+// RankOneResult is a rank-1 tensor approximation X ≈ λ · u₁ ∘ … ∘ u_N.
+type RankOneResult struct {
+	// Lambda is the component weight.
+	Lambda float64
+	// Vectors holds one unit vector per mode.
+	Vectors []tensor.Vector
+	// Iters is the number of power iterations executed.
+	Iters int
+}
+
+// PowerMethod computes the dominant rank-1 component of a tensor with the
+// higher-order power method: u_n ← normalize(X ×_{m≠n} u_m), iterated
+// until λ stabilizes. This is the orthogonal-decomposition building block
+// the paper cites as Ttv's motivating application (§2.3).
+func PowerMethod(x *tensor.COO, maxIters int, tol float64, seed int64) (*RankOneResult, error) {
+	if x.Order() < 2 {
+		return nil, fmt.Errorf("algo: power method needs an order >= 2 tensor")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &RankOneResult{Vectors: make([]tensor.Vector, x.Order())}
+	for n := range res.Vectors {
+		v := tensor.RandomVector(int(x.Dims[n]), rng)
+		normalize(v)
+		res.Vectors[n] = v
+	}
+	prev := 0.0
+	for it := 0; it < maxIters; it++ {
+		res.Iters = it + 1
+		for n := 0; n < x.Order(); n++ {
+			y, err := TtvChain(x, res.Vectors, n)
+			if err != nil {
+				return nil, err
+			}
+			res.Lambda = normalize(y)
+			res.Vectors[n] = y
+		}
+		if it > 0 && math.Abs(res.Lambda-prev) <= tol*math.Max(1, math.Abs(prev)) {
+			break
+		}
+		prev = res.Lambda
+	}
+	return res, nil
+}
+
+// normalize scales v to unit 2-norm and returns the original norm.
+func normalize(v tensor.Vector) float64 {
+	n := v.Norm2()
+	if n > 0 {
+		inv := tensor.Value(1 / n)
+		for i := range v {
+			v[i] *= inv
+		}
+	}
+	return n
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+	"repro/internal/hicoo"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// MttkrpHiCOOPlan is the HiCOO Mttkrp kernel (Algorithm 2). The factor
+// matrices are addressed through per-block base rows (Ab, Bb, Cb) so the
+// inner loop works purely on 8-bit element indices, which increases
+// locality via blocking and Morton-order construction. CPU parallelism is
+// over tensor blocks rather than non-zeros; because distinct tensor blocks
+// can still share output block-rows, updates remain atomic — and on GPUs
+// the per-block mapping loses COO's balanced non-zero distribution, which
+// is why the paper observes HiCOO-Mttkrp-GPU below COO-Mttkrp-GPU.
+type MttkrpHiCOOPlan struct {
+	// X is the input tensor in HiCOO format.
+	X *hicoo.HiCOO
+	// Mode is the Mttkrp mode n.
+	Mode int
+	// R is the factor-matrix column count.
+	R int
+	// Out is the dense output matrix, zeroed at the start of each Execute.
+	Out *tensor.Matrix
+}
+
+// PrepareMttkrpHiCOO validates the mode and allocates the output matrix.
+func PrepareMttkrpHiCOO(x *hicoo.HiCOO, mode, r int) (*MttkrpHiCOOPlan, error) {
+	if mode < 0 || mode >= x.Order() {
+		return nil, fmt.Errorf("core: Mttkrp mode %d out of range for order-%d tensor", mode, x.Order())
+	}
+	if x.Order() < 2 {
+		return nil, fmt.Errorf("core: Mttkrp needs an order >= 2 tensor")
+	}
+	if r <= 0 {
+		return nil, fmt.Errorf("core: Mttkrp needs R >= 1, got %d", r)
+	}
+	return &MttkrpHiCOOPlan{X: x, Mode: mode, R: r, Out: tensor.NewMatrix(int(x.Dims[mode]), r)}, nil
+}
+
+func (p *MttkrpHiCOOPlan) checkMats(mats []*tensor.Matrix) error {
+	if len(mats) != p.X.Order() {
+		return fmt.Errorf("core: Mttkrp got %d factor matrices, want %d", len(mats), p.X.Order())
+	}
+	for m, u := range mats {
+		if m == p.Mode {
+			continue
+		}
+		if u == nil {
+			return fmt.Errorf("core: Mttkrp factor matrix %d is nil", m)
+		}
+		if u.Rows != int(p.X.Dims[m]) || u.Cols != p.R {
+			return fmt.Errorf("core: Mttkrp factor %d is %dx%d, want %dx%d", m, u.Rows, u.Cols, p.X.Dims[m], p.R)
+		}
+	}
+	return nil
+}
+
+// ExecuteSeq runs Algorithm 2 sequentially over the tensor blocks.
+func (p *MttkrpHiCOOPlan) ExecuteSeq(mats []*tensor.Matrix) (*tensor.Matrix, error) {
+	if err := p.checkMats(mats); err != nil {
+		return nil, err
+	}
+	p.Out.Zero()
+	p.executeBlocks(0, p.X.NumBlocks(), mats, false)
+	return p.Out, nil
+}
+
+// ExecuteOMP runs HiCOO-Mttkrp-OMP: "parfor b = 1..nb" over tensor blocks
+// (Algorithm 2). Distinct blocks may share output rows, so the update is
+// atomic; the reference implementation deliberately skips the lock-
+// avoiding scheduling of the HiCOO paper (§3.4).
+func (p *MttkrpHiCOOPlan) ExecuteOMP(mats []*tensor.Matrix, opt parallel.Options) (*tensor.Matrix, error) {
+	if err := p.checkMats(mats); err != nil {
+		return nil, err
+	}
+	p.Out.Zero()
+	parallel.For(p.X.NumBlocks(), opt, func(lo, hi, _ int) {
+		p.executeBlocks(lo, hi, mats, true)
+	})
+	return p.Out, nil
+}
+
+// ExecuteGPU runs the unoptimized HiCOO-Mttkrp-GPU of §3.4.2: one tensor
+// block maps to one CUDA thread block (x-threads over columns, y-threads
+// striding the block's non-zeros) and atomicAdd protects the output. The
+// non-uniform non-zeros per tensor block produce the load imbalance the
+// paper reports.
+func (p *MttkrpHiCOOPlan) ExecuteGPU(dev *gpusim.Device, mats []*tensor.Matrix) (*tensor.Matrix, error) {
+	if err := p.checkMats(mats); err != nil {
+		return nil, err
+	}
+	p.Out.Zero()
+	nb := p.X.NumBlocks()
+	if nb == 0 {
+		return p.Out, nil
+	}
+	r := p.R
+	ny := gpusim.DefaultBlockThreads / r
+	if ny < 1 {
+		ny = 1
+	}
+	block := gpusim.Dim2(r, ny)
+	grid := gpusim.Dim1(nb)
+	h := p.X
+	bits := h.BlockBits
+	out := p.Out.Data
+	xv := h.Vals
+	order := h.Order()
+	mode := p.Mode
+	dev.Launch(grid, block, func(ctx gpusim.Ctx) {
+		b := ctx.BlockIdx.X
+		col := ctx.ThreadIdx.X
+		outBase := int(h.BInds[mode][b]) << bits
+		for x := h.BPtr[b] + int64(ctx.ThreadIdx.Y); x < h.BPtr[b+1]; x += int64(ctx.BlockDim.Y) {
+			v := xv[x]
+			for mo := 0; mo < order; mo++ {
+				if mo == mode {
+					continue
+				}
+				row := (int(h.BInds[mo][b]) << bits) + int(h.EInds[mo][x])
+				v *= mats[mo].Data[row*r+col]
+			}
+			oi := (outBase + int(h.EInds[mode][x])) * r
+			gpusim.AtomicAdd(&out[oi+col], v)
+		}
+	})
+	return p.Out, nil
+}
+
+// executeBlocks processes tensor blocks [lo, hi) following Algorithm 2:
+// per-block factor bases, 8-bit element indexing, R-wide inner loop.
+func (p *MttkrpHiCOOPlan) executeBlocks(lo, hi int, mats []*tensor.Matrix, atomicUpd bool) {
+	h := p.X
+	r := p.R
+	bits := h.BlockBits
+	out := p.Out.Data
+	xv := h.Vals
+	mode := p.Mode
+
+	if h.Order() == 3 {
+		m1, m2 := otherTwoModes(mode)
+		bd, cd := mats[m1].Data, mats[m2].Data
+		for b := lo; b < hi; b++ {
+			// Block matrix bases Ab, Bb, Cb of Algorithm 2 line 3.
+			aBase := int(h.BInds[mode][b]) << bits
+			bBase := int(h.BInds[m1][b]) << bits
+			cBase := int(h.BInds[m2][b]) << bits
+			for x := h.BPtr[b]; x < h.BPtr[b+1]; x++ {
+				v := xv[x]
+				bo := (bBase + int(h.EInds[m1][x])) * r
+				co := (cBase + int(h.EInds[m2][x])) * r
+				oo := (aBase + int(h.EInds[mode][x])) * r
+				if atomicUpd {
+					for c := 0; c < r; c++ {
+						parallel.AtomicAddFloat32(&out[oo+c], v*bd[bo+c]*cd[co+c])
+					}
+				} else {
+					for c := 0; c < r; c++ {
+						out[oo+c] += v * bd[bo+c] * cd[co+c]
+					}
+				}
+			}
+		}
+		return
+	}
+
+	order := h.Order()
+	prod := make([]tensor.Value, r)
+	for b := lo; b < hi; b++ {
+		outBase := int(h.BInds[mode][b]) << bits
+		for x := h.BPtr[b]; x < h.BPtr[b+1]; x++ {
+			v := xv[x]
+			for c := 0; c < r; c++ {
+				prod[c] = v
+			}
+			for mo := 0; mo < order; mo++ {
+				if mo == mode {
+					continue
+				}
+				row := (int(h.BInds[mo][b]) << bits) + int(h.EInds[mo][x])
+				urow := mats[mo].Row(row)
+				for c := 0; c < r; c++ {
+					prod[c] *= urow[c]
+				}
+			}
+			oo := (outBase + int(h.EInds[mode][x])) * r
+			if atomicUpd {
+				for c := 0; c < r; c++ {
+					parallel.AtomicAddFloat32(&out[oo+c], prod[c])
+				}
+			} else {
+				for c := 0; c < r; c++ {
+					out[oo+c] += prod[c]
+				}
+			}
+		}
+	}
+}
+
+// FlopCount returns the floating-point work of one execution (N·M·R).
+func (p *MttkrpHiCOOPlan) FlopCount() int64 {
+	return int64(p.X.Order()) * int64(p.X.NNZ()) * int64(p.R)
+}

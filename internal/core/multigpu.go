@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/gpusim"
+	"repro/internal/tensor"
+)
+
+// Multi-GPU execution (§7 lists "multiple GPUs" among the suite's next
+// platforms). The data-parallel scheme mirrors what a multi-GPU PASTA
+// would do over NVLink-attached devices: shard the non-zeros (or fibers)
+// across devices, run the single-GPU kernel per shard concurrently, and
+// reduce any shared outputs on the host.
+
+// ExecuteMultiGPU runs the COO Ttv kernel across several devices by
+// sharding fibers: fiber outputs are disjoint, so no reduction is needed.
+func (p *TtvPlan) ExecuteMultiGPU(devs []*gpusim.Device, v tensor.Vector) (*tensor.COO, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("core: ExecuteMultiGPU needs at least one device")
+	}
+	if err := p.checkVec(v); err != nil {
+		return nil, err
+	}
+	mf := p.NumFibers()
+	if mf == 0 {
+		return p.Out, nil
+	}
+	fptr := p.Fptr
+	kInd := p.X.Inds[p.Mode]
+	xv := p.X.Vals
+	yv := p.Out.Vals
+
+	var wg sync.WaitGroup
+	nd := len(devs)
+	wg.Add(nd)
+	for d := 0; d < nd; d++ {
+		lo := d * mf / nd
+		hi := (d + 1) * mf / nd
+		go func(dev *gpusim.Device, lo, hi int) {
+			defer wg.Done()
+			n := hi - lo
+			if n == 0 {
+				return
+			}
+			block := gpusim.Dim1(gpusim.DefaultBlockThreads)
+			grid := gpusim.Grid1DFor(n, block.X)
+			dev.Launch(grid, block, func(ctx gpusim.Ctx) {
+				f := lo + ctx.GlobalX()
+				if f >= hi {
+					return
+				}
+				var acc tensor.Value
+				for m := fptr[f]; m < fptr[f+1]; m++ {
+					acc += xv[m] * v[kInd[m]]
+				}
+				yv[f] = acc
+			})
+		}(devs[d], lo, hi)
+	}
+	wg.Wait()
+	return p.Out, nil
+}
+
+// ExecuteMultiGPU runs the COO Mttkrp kernel across several devices by
+// sharding non-zeros. Each device accumulates into a private copy of Ã
+// (device-local memory in a real system), and the copies are reduced on
+// the host afterwards — the standard replicate-and-reduce scheme for
+// multi-GPU MTTKRP.
+func (p *MttkrpPlan) ExecuteMultiGPU(devs []*gpusim.Device, mats []*tensor.Matrix) (*tensor.Matrix, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("core: ExecuteMultiGPU needs at least one device")
+	}
+	if err := p.checkMats(mats); err != nil {
+		return nil, err
+	}
+	m := p.X.NNZ()
+	r := p.R
+	nd := len(devs)
+	priv := make([]*tensor.Matrix, nd)
+	for d := range priv {
+		priv[d] = tensor.NewMatrix(p.Out.Rows, p.Out.Cols)
+	}
+	nInd := p.X.Inds[p.Mode]
+	xv := p.X.Vals
+	order := p.X.Order()
+	mode := p.Mode
+
+	var wg sync.WaitGroup
+	wg.Add(nd)
+	for d := 0; d < nd; d++ {
+		lo := d * m / nd
+		hi := (d + 1) * m / nd
+		go func(dev *gpusim.Device, out []tensor.Value, lo, hi int) {
+			defer wg.Done()
+			n := hi - lo
+			if n == 0 {
+				return
+			}
+			ny := gpusim.DefaultBlockThreads / r
+			if ny < 1 {
+				ny = 1
+			}
+			block := gpusim.Dim2(r, ny)
+			grid := gpusim.Grid1DFor(n, ny)
+			dev.Launch(grid, block, func(ctx gpusim.Ctx) {
+				x := lo + ctx.BlockIdx.X*ctx.BlockDim.Y + ctx.ThreadIdx.Y
+				if x >= hi {
+					return
+				}
+				col := ctx.ThreadIdx.X
+				v := xv[x]
+				for mo := 0; mo < order; mo++ {
+					if mo == mode {
+						continue
+					}
+					v *= mats[mo].Data[int(p.X.Inds[mo][x])*r+col]
+				}
+				gpusim.AtomicAdd(&out[int(nInd[x])*r+col], v)
+			})
+		}(devs[d], priv[d].Data, lo, hi)
+	}
+	wg.Wait()
+
+	// Host-side reduction of the device-private outputs.
+	p.Out.Zero()
+	for d := range priv {
+		src := priv[d].Data
+		dst := p.Out.Data
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	}
+	return p.Out, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gpusim"
+	"repro/internal/tensor"
+)
+
+func testDevices(n int) []*gpusim.Device {
+	devs := make([]*gpusim.Device, n)
+	for i := range devs {
+		devs[i] = gpusim.NewDevice("multi", 4)
+	}
+	return devs
+}
+
+func TestTtvMultiGPUMatchesSingle(t *testing.T) {
+	x := randTensor(200, []tensor.Index{40, 50, 30}, 3000)
+	rng := rand.New(rand.NewSource(201))
+	for _, nd := range []int{1, 2, 4, 7} {
+		p, err := PrepareTtv(x, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := tensor.RandomVector(50, rng)
+		want, err := p.ExecuteSeq(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantVals := append([]tensor.Value(nil), want.Vals...)
+		got, err := p.ExecuteMultiGPU(testDevices(nd), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantVals {
+			if got.Vals[i] != wantVals[i] {
+				t.Fatalf("%d devices: fiber %d differs", nd, i)
+			}
+		}
+	}
+}
+
+func TestMttkrpMultiGPUMatchesReference(t *testing.T) {
+	x := randTensor(202, []tensor.Index{30, 35, 25}, 2500)
+	r := 8
+	mats := randMats(203, x, r)
+	want := refMttkrp(x, mats, 0, r)
+	for _, nd := range []int{1, 3, 5} {
+		p, err := PrepareMttkrp(x, 0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.ExecuteMultiGPU(testDevices(nd), mats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareMatrix(t, got, want, "multi-GPU Mttkrp")
+	}
+}
+
+func TestMultiGPUMoreDevicesThanWork(t *testing.T) {
+	// More devices than fibers/non-zeros: empty shards must be harmless.
+	x := randTensor(204, []tensor.Index{6, 6, 6}, 5)
+	p, err := PrepareTtv(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tensor.NewVector(6)
+	for i := range v {
+		v[i] = 1
+	}
+	want, err := p.ExecuteSeq(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVals := append([]tensor.Value(nil), want.Vals...)
+	got, err := p.ExecuteMultiGPU(testDevices(16), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantVals {
+		if got.Vals[i] != wantVals[i] {
+			t.Fatal("oversharded Ttv differs")
+		}
+	}
+
+	mk, err := PrepareMttkrp(x, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mats := randMats(205, x, 2)
+	g, err := mk.ExecuteMultiGPU(testDevices(16), mats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareMatrix(t, g, refMttkrp(x, mats, 0, 2), "oversharded Mttkrp")
+}
+
+func TestMultiGPUErrors(t *testing.T) {
+	x := randTensor(206, []tensor.Index{5, 5, 5}, 20)
+	p, _ := PrepareTtv(x, 0)
+	if _, err := p.ExecuteMultiGPU(nil, tensor.NewVector(5)); err == nil {
+		t.Fatal("expected no-devices error")
+	}
+	if _, err := p.ExecuteMultiGPU(testDevices(2), tensor.NewVector(3)); err == nil {
+		t.Fatal("expected vector-length error")
+	}
+	mk, _ := PrepareMttkrp(x, 0, 4)
+	if _, err := mk.ExecuteMultiGPU(nil, randMats(207, x, 4)); err == nil {
+		t.Fatal("expected no-devices error")
+	}
+	if _, err := mk.ExecuteMultiGPU(testDevices(2), nil); err == nil {
+		t.Fatal("expected matrices error")
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gpusim"
+	"repro/internal/tensor"
+)
+
+// relTol is the comparison tolerance between implementations: float32
+// reductions in different orders legitimately differ in the last bits.
+const relTol = 2e-4
+
+func testDevice() *gpusim.Device { return gpusim.NewDevice("test-gpu", 8) }
+
+func randTensor(seed int64, dims []tensor.Index, nnz int) *tensor.COO {
+	return tensor.RandomCOO(dims, nnz, rand.New(rand.NewSource(seed)))
+}
+
+func coordKey(idx []tensor.Index) string { return fmt.Sprint(idx) }
+
+func closeEnough(a, b float64) bool {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return d <= relTol*math.Max(scale, 1)
+}
+
+// cooToF64Map flattens a COO tensor into coordinate→value.
+func cooToF64Map(t *tensor.COO) map[string]float64 {
+	m := make(map[string]float64, t.NNZ())
+	idx := make([]tensor.Index, t.Order())
+	for x := 0; x < t.NNZ(); x++ {
+		v := t.Entry(x, idx)
+		m[coordKey(idx)] += float64(v)
+	}
+	return m
+}
+
+func compareMaps(t *testing.T, got, want map[string]float64, label string) {
+	t.Helper()
+	for k, wv := range want {
+		gv, ok := got[k]
+		if !ok && math.Abs(wv) > relTol {
+			t.Fatalf("%s: missing coordinate %s (want %v)", label, k, wv)
+		}
+		if !closeEnough(gv, wv) {
+			t.Fatalf("%s: at %s got %v, want %v", label, k, gv, wv)
+		}
+	}
+	for k, gv := range got {
+		if _, ok := want[k]; !ok && math.Abs(gv) > relTol {
+			t.Fatalf("%s: unexpected coordinate %s = %v", label, k, gv)
+		}
+	}
+}
+
+// refTtv computes X ×_n v with float64 accumulation, independently of the
+// kernel implementations.
+func refTtv(x *tensor.COO, v tensor.Vector, mode int) map[string]float64 {
+	out := make(map[string]float64)
+	idx := make([]tensor.Index, x.Order())
+	rem := make([]tensor.Index, 0, x.Order()-1)
+	for m := 0; m < x.NNZ(); m++ {
+		val := x.Entry(m, idx)
+		rem = rem[:0]
+		for n := 0; n < x.Order(); n++ {
+			if n != mode {
+				rem = append(rem, idx[n])
+			}
+		}
+		out[coordKey(rem)] += float64(val) * float64(v[idx[mode]])
+	}
+	return out
+}
+
+// refTtm computes X ×_n U with float64 accumulation, keyed by full output
+// coordinates (including the dense mode).
+func refTtm(x *tensor.COO, u *tensor.Matrix, mode int) map[string]float64 {
+	out := make(map[string]float64)
+	idx := make([]tensor.Index, x.Order())
+	oidx := make([]tensor.Index, x.Order())
+	for m := 0; m < x.NNZ(); m++ {
+		val := x.Entry(m, idx)
+		copy(oidx, idx)
+		k := int(idx[mode])
+		for r := 0; r < u.Cols; r++ {
+			oidx[mode] = tensor.Index(r)
+			out[coordKey(oidx)] += float64(val) * float64(u.At(k, r))
+		}
+	}
+	return out
+}
+
+// refMttkrp computes the mode-n Mttkrp with float64 accumulation.
+func refMttkrp(x *tensor.COO, mats []*tensor.Matrix, mode, r int) [][]float64 {
+	rows := int(x.Dims[mode])
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = make([]float64, r)
+	}
+	idx := make([]tensor.Index, x.Order())
+	for m := 0; m < x.NNZ(); m++ {
+		val := float64(x.Entry(m, idx))
+		for c := 0; c < r; c++ {
+			p := val
+			for mo := 0; mo < x.Order(); mo++ {
+				if mo == mode {
+					continue
+				}
+				p *= float64(mats[mo].At(int(idx[mo]), c))
+			}
+			out[idx[mode]][c] += p
+		}
+	}
+	return out
+}
+
+func compareMatrix(t *testing.T, got *tensor.Matrix, want [][]float64, label string) {
+	t.Helper()
+	if got.Rows != len(want) {
+		t.Fatalf("%s: rows = %d, want %d", label, got.Rows, len(want))
+	}
+	for i := 0; i < got.Rows; i++ {
+		for c := 0; c < got.Cols; c++ {
+			if !closeEnough(float64(got.At(i, c)), want[i][c]) {
+				t.Fatalf("%s: (%d,%d) got %v, want %v", label, i, c, got.At(i, c), want[i][c])
+			}
+		}
+	}
+}
+
+func randMats(seed int64, x *tensor.COO, r int) []*tensor.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	mats := make([]*tensor.Matrix, x.Order())
+	for n := range mats {
+		mats[n] = tensor.NewMatrix(int(x.Dims[n]), r)
+		mats[n].Randomize(rng)
+	}
+	return mats
+}
+
+// semiCOOToF64Map flattens an sCOO tensor including stored zeros dropped.
+func semiCOOToF64Map(s *tensor.SemiCOO) map[string]float64 {
+	return cooToF64Map(s.ToCOO())
+}

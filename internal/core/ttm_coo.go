@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// TtmPlan is the prepared state of a COO tensor-times-matrix kernel in a
+// fixed mode (§2.4, §3.2). By the sparse-dense property the product mode
+// becomes dense in the output, so preprocessing allocates a semi-sparse
+// (sCOO) output with one R-length dense row per mode-n fiber.
+type TtmPlan struct {
+	// X is the input, sorted for Mode.
+	X *tensor.COO
+	// Mode is the product mode n.
+	Mode int
+	// R is the matrix column count (typically 16; R < 100 in low-rank
+	// methods).
+	R int
+	// Fptr holds the fiber start offsets (MF+1 entries).
+	Fptr []int64
+	// Out is the preallocated sCOO output with Mode dense of size R.
+	Out *tensor.SemiCOO
+}
+
+// PrepareTtm performs the preprocessing stage of Ttm in mode n with R
+// output columns.
+func PrepareTtm(x *tensor.COO, mode, r int) (*TtmPlan, error) {
+	if mode < 0 || mode >= x.Order() {
+		return nil, fmt.Errorf("core: Ttm mode %d out of range for order-%d tensor", mode, x.Order())
+	}
+	if r <= 0 {
+		return nil, fmt.Errorf("core: Ttm needs R >= 1, got %d", r)
+	}
+	xs := x
+	if !xs.IsSortedBy(tensor.ModeOrder(x.Order(), mode)) {
+		xs = x.Clone()
+		xs.SortForMode(mode)
+	}
+	fptr := xs.FiberPointers(mode)
+	mf := len(fptr) - 1
+
+	outDims := append([]tensor.Index(nil), x.Dims...)
+	outDims[mode] = tensor.Index(r)
+	out := tensor.NewSemiCOO(outDims, []int{mode}, mf)
+	sparseIdx := make([]tensor.Index, x.Order()-1)
+	for f := 0; f < mf; f++ {
+		si := 0
+		for n := 0; n < x.Order(); n++ {
+			if n == mode {
+				continue
+			}
+			sparseIdx[si] = xs.Inds[n][fptr[f]]
+			si++
+		}
+		out.AppendFiber(sparseIdx)
+	}
+	return &TtmPlan{X: xs, Mode: mode, R: r, Fptr: fptr, Out: out}, nil
+}
+
+// NumFibers returns MF.
+func (p *TtmPlan) NumFibers() int { return len(p.Fptr) - 1 }
+
+// ExecuteSeq runs the value computation sequentially:
+// Y(f, r) = Σ_m x_m · U(k_m, r) per fiber f.
+func (p *TtmPlan) ExecuteSeq(u *tensor.Matrix) (*tensor.SemiCOO, error) {
+	if err := p.checkMat(u); err != nil {
+		return nil, err
+	}
+	p.executeFibers(0, p.NumFibers(), u)
+	return p.Out, nil
+}
+
+// ExecuteOMP parallelizes over independent fibers, with the innermost
+// column loop playing the role of the paper's "omp simd" vectorization.
+func (p *TtmPlan) ExecuteOMP(u *tensor.Matrix, opt parallel.Options) (*tensor.SemiCOO, error) {
+	if err := p.checkMat(u); err != nil {
+		return nil, err
+	}
+	parallel.For(p.NumFibers(), opt, func(lo, hi, _ int) {
+		p.executeFibers(lo, hi, u)
+	})
+	return p.Out, nil
+}
+
+// ExecuteGPU runs the COO-Ttm-GPU kernel following ParTI: a 1-D grid of
+// 2-D thread blocks where the x-dimension covers the R matrix columns
+// (memory coalescing) and the y-dimension covers a fiber's non-zeros; the
+// per-column partial products are accumulated with atomicAdd (§3.2.2).
+func (p *TtmPlan) ExecuteGPU(dev *gpusim.Device, u *tensor.Matrix) (*tensor.SemiCOO, error) {
+	if err := p.checkMat(u); err != nil {
+		return nil, err
+	}
+	mf := p.NumFibers()
+	if mf == 0 {
+		return p.Out, nil
+	}
+	r := p.R
+	ny := gpusim.DefaultBlockThreads / r
+	if ny < 1 {
+		ny = 1
+	}
+	block := gpusim.Dim2(r, ny)
+	grid := gpusim.Dim1(mf) // one block per fiber
+	fptr := p.Fptr
+	kInd := p.X.Inds[p.Mode]
+	xv := p.X.Vals
+	out := p.Out.Vals
+	ud := u.Data
+	for i := range out {
+		out[i] = 0
+	}
+	dev.Launch(grid, block, func(ctx gpusim.Ctx) {
+		f := ctx.BlockIdx.X
+		col := ctx.ThreadIdx.X
+		var acc tensor.Value
+		for m := fptr[f] + int64(ctx.ThreadIdx.Y); m < fptr[f+1]; m += int64(ctx.BlockDim.Y) {
+			acc += xv[m] * ud[int(kInd[m])*r+col]
+		}
+		if acc != 0 {
+			gpusim.AtomicAdd(&out[f*r+col], acc)
+		}
+	})
+	return p.Out, nil
+}
+
+func (p *TtmPlan) executeFibers(lo, hi int, u *tensor.Matrix) {
+	fptr := p.Fptr
+	kInd := p.X.Inds[p.Mode]
+	xv := p.X.Vals
+	r := p.R
+	ud := u.Data
+	for f := lo; f < hi; f++ {
+		row := p.Out.Vals[f*r : (f+1)*r]
+		for c := range row {
+			row[c] = 0
+		}
+		for m := fptr[f]; m < fptr[f+1]; m++ {
+			v := xv[m]
+			urow := ud[int(kInd[m])*r : int(kInd[m])*r+r]
+			for c, uv := range urow {
+				row[c] += v * uv
+			}
+		}
+	}
+}
+
+func (p *TtmPlan) checkMat(u *tensor.Matrix) error {
+	if u.Rows != int(p.X.Dims[p.Mode]) || u.Cols != p.R {
+		return fmt.Errorf("core: Ttm matrix is %dx%d, want %dx%d", u.Rows, u.Cols, p.X.Dims[p.Mode], p.R)
+	}
+	return nil
+}
+
+// FlopCount returns the floating-point work of one execution (Table 1:
+// 2MR flops for Ttm).
+func (p *TtmPlan) FlopCount() int64 { return 2 * int64(p.X.NNZ()) * int64(p.R) }
+
+// Ttm is the convenience one-shot form: prepare and execute sequentially.
+func Ttm(x *tensor.COO, u *tensor.Matrix, mode int) (*tensor.SemiCOO, error) {
+	p, err := PrepareTtm(x, mode, u.Cols)
+	if err != nil {
+		return nil, err
+	}
+	return p.ExecuteSeq(u)
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+	"repro/internal/hicoo"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// TtmHiCOOPlan is the HiCOO tensor-times-matrix kernel (§3.4.1): gHiCOO
+// input with the product mode uncompressed, sHiCOO output with an
+// R-length dense row per fiber, and the COO value computation.
+type TtmHiCOOPlan struct {
+	// X is the input in gHiCOO with only Mode uncompressed.
+	X *hicoo.GHiCOO
+	// Mode is the product mode n.
+	Mode int
+	// R is the matrix column count.
+	R int
+	// Fptr holds the fiber start offsets (MF+1 entries).
+	Fptr []int64
+	// Out is the preallocated sHiCOO output.
+	Out *hicoo.SemiHiCOO
+}
+
+// PrepareTtmHiCOO converts the tensor to gHiCOO (compressing every mode
+// except mode) and builds the sHiCOO output skeleton.
+func PrepareTtmHiCOO(x *tensor.COO, mode, r int, blockBits uint8) (*TtmHiCOOPlan, error) {
+	if mode < 0 || mode >= x.Order() {
+		return nil, fmt.Errorf("core: Ttm mode %d out of range for order-%d tensor", mode, x.Order())
+	}
+	if r <= 0 {
+		return nil, fmt.Errorf("core: Ttm needs R >= 1, got %d", r)
+	}
+	g := hicoo.FromCOOExceptMode(x, mode, blockBits)
+	fptr, fiberBlock := g.FiberPointers()
+	mf := len(fptr) - 1
+
+	outDims := append([]tensor.Index(nil), x.Dims...)
+	outDims[mode] = tensor.Index(r)
+	nc := len(g.CompModes)
+	out := &hicoo.SemiHiCOO{
+		Dims:       outDims,
+		DenseModes: []int{mode},
+		BlockBits:  g.BlockBits,
+		BInds:      make([][]tensor.Index, nc),
+		EInds:      make([][]uint8, nc),
+		Vals:       make([]tensor.Value, mf*r),
+	}
+	for ci := 0; ci < nc; ci++ {
+		out.EInds[ci] = make([]uint8, mf)
+	}
+	for f := 0; f < mf; f++ {
+		if f == 0 || fiberBlock[f] != fiberBlock[f-1] {
+			out.BPtr = append(out.BPtr, int64(f))
+			b := int(fiberBlock[f])
+			for ci := 0; ci < nc; ci++ {
+				out.BInds[ci] = append(out.BInds[ci], g.BInds[ci][b])
+			}
+		}
+		head := fptr[f]
+		for ci := 0; ci < nc; ci++ {
+			out.EInds[ci][f] = g.EInds[ci][head]
+		}
+	}
+	out.BPtr = append(out.BPtr, int64(mf))
+	return &TtmHiCOOPlan{X: g, Mode: mode, R: r, Fptr: fptr, Out: out}, nil
+}
+
+// NumFibers returns MF.
+func (p *TtmHiCOOPlan) NumFibers() int { return len(p.Fptr) - 1 }
+
+// ExecuteSeq runs the value computation sequentially.
+func (p *TtmHiCOOPlan) ExecuteSeq(u *tensor.Matrix) (*hicoo.SemiHiCOO, error) {
+	if err := p.checkMat(u); err != nil {
+		return nil, err
+	}
+	p.executeFibers(0, p.NumFibers(), u)
+	return p.Out, nil
+}
+
+// ExecuteOMP parallelizes over independent fibers.
+func (p *TtmHiCOOPlan) ExecuteOMP(u *tensor.Matrix, opt parallel.Options) (*hicoo.SemiHiCOO, error) {
+	if err := p.checkMat(u); err != nil {
+		return nil, err
+	}
+	parallel.For(p.NumFibers(), opt, func(lo, hi, _ int) {
+		p.executeFibers(lo, hi, u)
+	})
+	return p.Out, nil
+}
+
+// ExecuteGPU runs HiCOO-Ttm-GPU with the same geometry as the COO kernel:
+// one block per fiber, x-threads over columns, y-threads over the fiber's
+// non-zeros with atomic accumulation.
+func (p *TtmHiCOOPlan) ExecuteGPU(dev *gpusim.Device, u *tensor.Matrix) (*hicoo.SemiHiCOO, error) {
+	if err := p.checkMat(u); err != nil {
+		return nil, err
+	}
+	mf := p.NumFibers()
+	if mf == 0 {
+		return p.Out, nil
+	}
+	r := p.R
+	ny := gpusim.DefaultBlockThreads / r
+	if ny < 1 {
+		ny = 1
+	}
+	block := gpusim.Dim2(r, ny)
+	grid := gpusim.Dim1(mf)
+	fptr := p.Fptr
+	kInd := p.X.UInds[0]
+	xv := p.X.Vals
+	out := p.Out.Vals
+	ud := u.Data
+	for i := range out {
+		out[i] = 0
+	}
+	dev.Launch(grid, block, func(ctx gpusim.Ctx) {
+		f := ctx.BlockIdx.X
+		col := ctx.ThreadIdx.X
+		var acc tensor.Value
+		for m := fptr[f] + int64(ctx.ThreadIdx.Y); m < fptr[f+1]; m += int64(ctx.BlockDim.Y) {
+			acc += xv[m] * ud[int(kInd[m])*r+col]
+		}
+		if acc != 0 {
+			gpusim.AtomicAdd(&out[f*r+col], acc)
+		}
+	})
+	return p.Out, nil
+}
+
+func (p *TtmHiCOOPlan) executeFibers(lo, hi int, u *tensor.Matrix) {
+	fptr := p.Fptr
+	kInd := p.X.UInds[0]
+	xv := p.X.Vals
+	r := p.R
+	ud := u.Data
+	for f := lo; f < hi; f++ {
+		row := p.Out.Vals[f*r : (f+1)*r]
+		for c := range row {
+			row[c] = 0
+		}
+		for m := fptr[f]; m < fptr[f+1]; m++ {
+			v := xv[m]
+			urow := ud[int(kInd[m])*r : int(kInd[m])*r+r]
+			for c, uv := range urow {
+				row[c] += v * uv
+			}
+		}
+	}
+}
+
+func (p *TtmHiCOOPlan) checkMat(u *tensor.Matrix) error {
+	if u.Rows != int(p.X.Dims[p.Mode]) || u.Cols != p.R {
+		return fmt.Errorf("core: Ttm matrix is %dx%d, want %dx%d", u.Rows, u.Cols, p.X.Dims[p.Mode], p.R)
+	}
+	return nil
+}
+
+// FlopCount returns the floating-point work of one execution (2MR flops).
+func (p *TtmHiCOOPlan) FlopCount() int64 { return 2 * int64(p.X.NNZ()) * int64(p.R) }

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hicoo"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+func TestTtmHandcrafted(t *testing.T) {
+	// X(0,0,1)=2, X(0,0,3)=3; U is 4x2 with U(k,r) = k*10 + r.
+	x := tensor.NewCOO([]tensor.Index{2, 3, 4}, 2)
+	x.AppendIdx3(0, 0, 1, 2)
+	x.AppendIdx3(0, 0, 3, 3)
+	u := tensor.NewMatrix(4, 2)
+	for k := 0; k < 4; k++ {
+		for r := 0; r < 2; r++ {
+			u.Set(k, r, tensor.Value(k*10+r))
+		}
+	}
+	y, err := Ttm(x, u, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Order() != 3 || y.Dims[2] != 2 || !y.IsDenseMode(2) {
+		t.Fatalf("output shape %v dense=%v", y.Dims, y.DenseModes)
+	}
+	if y.NumFibers() != 1 {
+		t.Fatalf("fibers = %d, want 1", y.NumFibers())
+	}
+	row := y.FiberVals(0)
+	// r=0: 2*10 + 3*30 = 110; r=1: 2*11 + 3*31 = 115.
+	if row[0] != 110 || row[1] != 115 {
+		t.Fatalf("row = %v, want [110 115]", row)
+	}
+}
+
+func TestTtmAgainstReferenceAllModes(t *testing.T) {
+	for _, dims := range [][]tensor.Index{
+		{20, 25, 30},
+		{10, 12, 8, 9},
+	} {
+		x := randTensor(50, dims, 600)
+		rng := rand.New(rand.NewSource(51))
+		r := 8
+		for mode := 0; mode < len(dims); mode++ {
+			u := tensor.NewMatrix(int(dims[mode]), r)
+			u.Randomize(rng)
+			y, err := Ttm(x, u, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := y.Validate(); err != nil {
+				t.Fatalf("mode %d output invalid: %v", mode, err)
+			}
+			compareMaps(t, semiCOOToF64Map(y), refTtm(x, u, mode), "Ttm")
+		}
+	}
+}
+
+func TestTtmParallelAndGPUAgree(t *testing.T) {
+	x := randTensor(52, []tensor.Index{40, 50, 45}, 4000)
+	rng := rand.New(rand.NewSource(53))
+	r := DefaultR
+	for mode := 0; mode < 3; mode++ {
+		p, err := PrepareTtm(x, mode, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := tensor.NewMatrix(int(x.Dims[mode]), r)
+		u.Randomize(rng)
+		seq, err := p.ExecuteSeq(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]tensor.Value(nil), seq.Vals...)
+		if _, err := p.ExecuteOMP(u, parallel.Options{Schedule: parallel.Dynamic}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if p.Out.Vals[i] != want[i] {
+				t.Fatalf("mode %d OMP value %d differs", mode, i)
+			}
+		}
+		if _, err := p.ExecuteGPU(testDevice(), u); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !closeEnough(float64(p.Out.Vals[i]), float64(want[i])) {
+				t.Fatalf("mode %d GPU value %d = %v, want %v", mode, i, p.Out.Vals[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTtmHiCOOMatchesCOO(t *testing.T) {
+	x := randTensor(54, []tensor.Index{30, 40, 35}, 2000)
+	rng := rand.New(rand.NewSource(55))
+	r := 8
+	for mode := 0; mode < 3; mode++ {
+		u := tensor.NewMatrix(int(x.Dims[mode]), r)
+		u.Randomize(rng)
+		hp, err := PrepareTtmHiCOO(x, mode, r, hicoo.DefaultBlockBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hy, err := hp.ExecuteSeq(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hy.Validate(); err != nil {
+			t.Fatalf("mode %d sHiCOO invalid: %v", mode, err)
+		}
+		compareMaps(t, semiCOOToF64Map(hy.ToSemiCOO()), refTtm(x, u, mode), "HiCOO-Ttm")
+
+		want := append([]tensor.Value(nil), hy.Vals...)
+		if _, err := hp.ExecuteOMP(u, parallel.Options{Schedule: parallel.Static}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if hp.Out.Vals[i] != want[i] {
+				t.Fatalf("mode %d HiCOO OMP value %d differs", mode, i)
+			}
+		}
+		if _, err := hp.ExecuteGPU(testDevice(), u); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !closeEnough(float64(hp.Out.Vals[i]), float64(want[i])) {
+				t.Fatalf("mode %d HiCOO GPU value %d differs", mode, i)
+			}
+		}
+	}
+}
+
+func TestTtmErrors(t *testing.T) {
+	x := randTensor(56, []tensor.Index{5, 5, 5}, 20)
+	if _, err := PrepareTtm(x, 5, 4); err == nil {
+		t.Fatal("expected mode error")
+	}
+	if _, err := PrepareTtm(x, 0, 0); err == nil {
+		t.Fatal("expected R error")
+	}
+	p, _ := PrepareTtm(x, 0, 4)
+	bad := tensor.NewMatrix(5, 7) // wrong column count
+	if _, err := p.ExecuteSeq(bad); err == nil {
+		t.Fatal("expected matrix shape error")
+	}
+	bad2 := tensor.NewMatrix(3, 4) // wrong row count
+	if _, err := p.ExecuteOMP(bad2, parallel.Options{}); err == nil {
+		t.Fatal("expected matrix shape error (OMP)")
+	}
+	if _, err := p.ExecuteGPU(testDevice(), bad2); err == nil {
+		t.Fatal("expected matrix shape error (GPU)")
+	}
+	if _, err := PrepareTtmHiCOO(x, -1, 4, 4); err == nil {
+		t.Fatal("expected HiCOO mode error")
+	}
+	if _, err := PrepareTtmHiCOO(x, 0, 0, 4); err == nil {
+		t.Fatal("expected HiCOO R error")
+	}
+}
+
+func TestTtmOutputDims(t *testing.T) {
+	x := randTensor(57, []tensor.Index{6, 7, 8, 9}, 100)
+	p, err := PrepareTtm(x, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tensor.Index{6, 7, 5, 9}
+	for n := range want {
+		if p.Out.Dims[n] != want[n] {
+			t.Fatalf("output dims %v, want %v", p.Out.Dims, want)
+		}
+	}
+	if p.FlopCount() != 2*int64(x.NNZ())*5 {
+		t.Fatalf("FlopCount = %d", p.FlopCount())
+	}
+}
+
+func TestTtmRepeatedExecuteIsIdempotent(t *testing.T) {
+	// Execute zeroes the output rows, so repeated runs must agree.
+	x := randTensor(58, []tensor.Index{20, 20, 20}, 500)
+	rng := rand.New(rand.NewSource(59))
+	p, _ := PrepareTtm(x, 1, 4)
+	u := tensor.NewMatrix(20, 4)
+	u.Randomize(rng)
+	first, _ := p.ExecuteSeq(u)
+	want := append([]tensor.Value(nil), first.Vals...)
+	p.ExecuteSeq(u)
+	for i := range want {
+		if p.Out.Vals[i] != want[i] {
+			t.Fatal("repeated execute diverged")
+		}
+	}
+}

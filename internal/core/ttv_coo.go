@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// TtvPlan is the prepared state of a COO tensor-times-vector kernel in a
+// fixed mode (Algorithm 1, COO-Ttv-OMP). Preprocessing sorts the tensor so
+// the mode-n fibers are contiguous, records the fiber pointers fptr, and
+// preallocates the order-(N-1) sparse output with MF non-zeros whose
+// indices follow the sparse-dense property: they equal the non-product
+// coordinates of the input fibers.
+type TtvPlan struct {
+	// X is the input, sorted for Mode (a sorted clone if the caller's
+	// tensor was not already in fiber order).
+	X *tensor.COO
+	// Mode is the product mode n.
+	Mode int
+	// Fptr holds the fiber start offsets (MF+1 entries).
+	Fptr []int64
+	// Out is the preallocated output tensor of order N-1 with MF
+	// non-zeros; indices are final, values recomputed per Execute.
+	Out *tensor.COO
+}
+
+// PrepareTtv performs the preprocessing stage of Ttv in mode n.
+func PrepareTtv(x *tensor.COO, mode int) (*TtvPlan, error) {
+	if mode < 0 || mode >= x.Order() {
+		return nil, fmt.Errorf("core: Ttv mode %d out of range for order-%d tensor", mode, x.Order())
+	}
+	if x.Order() < 2 {
+		return nil, fmt.Errorf("core: Ttv needs an order >= 2 tensor")
+	}
+	xs := x
+	if !xs.IsSortedBy(tensor.ModeOrder(x.Order(), mode)) {
+		xs = x.Clone()
+		xs.SortForMode(mode)
+	}
+	fptr := xs.FiberPointers(mode)
+	mf := len(fptr) - 1
+
+	outDims := make([]tensor.Index, 0, x.Order()-1)
+	otherModes := make([]int, 0, x.Order()-1)
+	for n := 0; n < x.Order(); n++ {
+		if n != mode {
+			outDims = append(outDims, x.Dims[n])
+			otherModes = append(otherModes, n)
+		}
+	}
+	out := &tensor.COO{
+		Dims: outDims,
+		Inds: make([][]tensor.Index, len(outDims)),
+		Vals: make([]tensor.Value, mf),
+	}
+	for on, n := range otherModes {
+		ind := make([]tensor.Index, mf)
+		src := xs.Inds[n]
+		for f := 0; f < mf; f++ {
+			ind[f] = src[fptr[f]]
+		}
+		out.Inds[on] = ind
+	}
+	return &TtvPlan{X: xs, Mode: mode, Fptr: fptr, Out: out}, nil
+}
+
+// NumFibers returns MF, the number of mode-n fibers.
+func (p *TtvPlan) NumFibers() int { return len(p.Fptr) - 1 }
+
+// ExecuteSeq runs the value computation sequentially: one reduction per
+// fiber, y_f = Σ_m x_m · v[k_m].
+func (p *TtvPlan) ExecuteSeq(v tensor.Vector) (*tensor.COO, error) {
+	if err := p.checkVec(v); err != nil {
+		return nil, err
+	}
+	p.executeFibers(0, p.NumFibers(), v)
+	return p.Out, nil
+}
+
+// ExecuteOMP parallelizes over independent fibers ("parfor f = 1..MF");
+// dynamic scheduling mitigates the fiber-length imbalance the paper
+// highlights.
+func (p *TtvPlan) ExecuteOMP(v tensor.Vector, opt parallel.Options) (*tensor.COO, error) {
+	if err := p.checkVec(v); err != nil {
+		return nil, err
+	}
+	parallel.For(p.NumFibers(), opt, func(lo, hi, _ int) {
+		p.executeFibers(lo, hi, v)
+	})
+	return p.Out, nil
+}
+
+// ExecuteGPU runs the COO-Ttv-GPU kernel: a 1-D grid of 1-D thread blocks
+// with one thread per fiber (§3.2.2), so unbalanced fiber lengths cause
+// the performance drop the paper notes.
+func (p *TtvPlan) ExecuteGPU(dev *gpusim.Device, v tensor.Vector) (*tensor.COO, error) {
+	if err := p.checkVec(v); err != nil {
+		return nil, err
+	}
+	mf := p.NumFibers()
+	if mf == 0 {
+		return p.Out, nil
+	}
+	block := gpusim.Dim1(gpusim.DefaultBlockThreads)
+	grid := gpusim.Grid1DFor(mf, block.X)
+	fptr := p.Fptr
+	kInd := p.X.Inds[p.Mode]
+	xv := p.X.Vals
+	yv := p.Out.Vals
+	dev.Launch(grid, block, func(ctx gpusim.Ctx) {
+		f := ctx.GlobalX()
+		if f >= mf {
+			return
+		}
+		var acc tensor.Value
+		for m := fptr[f]; m < fptr[f+1]; m++ {
+			acc += xv[m] * v[kInd[m]]
+		}
+		yv[f] = acc
+	})
+	return p.Out, nil
+}
+
+func (p *TtvPlan) executeFibers(lo, hi int, v tensor.Vector) {
+	fptr := p.Fptr
+	kInd := p.X.Inds[p.Mode]
+	xv := p.X.Vals
+	yv := p.Out.Vals
+	for f := lo; f < hi; f++ {
+		var acc tensor.Value
+		for m := fptr[f]; m < fptr[f+1]; m++ {
+			acc += xv[m] * v[kInd[m]]
+		}
+		yv[f] = acc
+	}
+}
+
+func (p *TtvPlan) checkVec(v tensor.Vector) error {
+	if len(v) != int(p.X.Dims[p.Mode]) {
+		return fmt.Errorf("core: Ttv vector length %d, want mode-%d size %d", len(v), p.Mode, p.X.Dims[p.Mode])
+	}
+	return nil
+}
+
+// FlopCount returns the floating-point work of one execution (Table 1:
+// 2M flops for Ttv).
+func (p *TtvPlan) FlopCount() int64 { return 2 * int64(p.X.NNZ()) }
+
+// Ttv is the convenience one-shot form: prepare and execute sequentially.
+func Ttv(x *tensor.COO, v tensor.Vector, mode int) (*tensor.COO, error) {
+	p, err := PrepareTtv(x, mode)
+	if err != nil {
+		return nil, err
+	}
+	return p.ExecuteSeq(v)
+}

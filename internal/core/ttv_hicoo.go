@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+	"repro/internal/hicoo"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// TtvHiCOOPlan is the HiCOO tensor-times-vector kernel (§3.4.1). The
+// input is represented in gHiCOO with the product mode left uncompressed,
+// which "bypasses the blocking nature of HiCOO": fibers are contiguous
+// and block-race-free, so the value computation is exactly the COO one.
+// Preprocessing builds the order-(N-1) output directly in HiCOO format —
+// one output non-zero per fiber, inheriting the fiber's block and element
+// indices on the compressed modes.
+type TtvHiCOOPlan struct {
+	// X is the input in gHiCOO with only Mode uncompressed.
+	X *hicoo.GHiCOO
+	// Mode is the product mode n.
+	Mode int
+	// Fptr holds the fiber start offsets (MF+1 entries).
+	Fptr []int64
+	// FiberBlock maps each fiber to its gHiCOO block.
+	FiberBlock []int32
+	// Out is the preallocated order-(N-1) HiCOO output.
+	Out *hicoo.HiCOO
+}
+
+// PrepareTtvHiCOO converts the tensor to gHiCOO (compressing every mode
+// except mode) and builds the HiCOO output skeleton.
+func PrepareTtvHiCOO(x *tensor.COO, mode int, blockBits uint8) (*TtvHiCOOPlan, error) {
+	if mode < 0 || mode >= x.Order() {
+		return nil, fmt.Errorf("core: Ttv mode %d out of range for order-%d tensor", mode, x.Order())
+	}
+	if x.Order() < 2 {
+		return nil, fmt.Errorf("core: Ttv needs an order >= 2 tensor")
+	}
+	g := hicoo.FromCOOExceptMode(x, mode, blockBits)
+	fptr, fiberBlock := g.FiberPointers()
+	mf := len(fptr) - 1
+
+	// Output dims: drop the product mode. The compressed modes of X map
+	// one-to-one onto the output's modes, in order.
+	outDims := make([]tensor.Index, len(g.CompModes))
+	for ci, n := range g.CompModes {
+		outDims[ci] = x.Dims[n]
+	}
+	nc := len(g.CompModes)
+	out := &hicoo.HiCOO{
+		Dims:      outDims,
+		BlockBits: blockBits,
+		BInds:     make([][]tensor.Index, nc),
+		EInds:     make([][]uint8, nc),
+		Vals:      make([]tensor.Value, mf),
+	}
+	for ci := 0; ci < nc; ci++ {
+		out.EInds[ci] = make([]uint8, mf)
+	}
+	// Fibers arrive grouped by block (FiberPointers walks blocks in
+	// order), so output blocks are runs of equal FiberBlock.
+	for f := 0; f < mf; f++ {
+		if f == 0 || fiberBlock[f] != fiberBlock[f-1] {
+			out.BPtr = append(out.BPtr, int64(f))
+			b := int(fiberBlock[f])
+			for ci := 0; ci < nc; ci++ {
+				out.BInds[ci] = append(out.BInds[ci], g.BInds[ci][b])
+			}
+		}
+		head := fptr[f]
+		for ci := 0; ci < nc; ci++ {
+			out.EInds[ci][f] = g.EInds[ci][head]
+		}
+	}
+	out.BPtr = append(out.BPtr, int64(mf))
+	return &TtvHiCOOPlan{X: g, Mode: mode, Fptr: fptr, FiberBlock: fiberBlock, Out: out}, nil
+}
+
+// NumFibers returns MF.
+func (p *TtvHiCOOPlan) NumFibers() int { return len(p.Fptr) - 1 }
+
+// ExecuteSeq runs the value computation sequentially.
+func (p *TtvHiCOOPlan) ExecuteSeq(v tensor.Vector) (*hicoo.HiCOO, error) {
+	if err := p.checkVec(v); err != nil {
+		return nil, err
+	}
+	p.executeFibers(0, p.NumFibers(), v)
+	return p.Out, nil
+}
+
+// ExecuteOMP parallelizes over independent fibers, exactly as the COO
+// kernel does.
+func (p *TtvHiCOOPlan) ExecuteOMP(v tensor.Vector, opt parallel.Options) (*hicoo.HiCOO, error) {
+	if err := p.checkVec(v); err != nil {
+		return nil, err
+	}
+	parallel.For(p.NumFibers(), opt, func(lo, hi, _ int) {
+		p.executeFibers(lo, hi, v)
+	})
+	return p.Out, nil
+}
+
+// ExecuteGPU runs HiCOO-Ttv-GPU (same execution as COO per §3.4.2): one
+// thread per fiber.
+func (p *TtvHiCOOPlan) ExecuteGPU(dev *gpusim.Device, v tensor.Vector) (*hicoo.HiCOO, error) {
+	if err := p.checkVec(v); err != nil {
+		return nil, err
+	}
+	mf := p.NumFibers()
+	if mf == 0 {
+		return p.Out, nil
+	}
+	block := gpusim.Dim1(gpusim.DefaultBlockThreads)
+	grid := gpusim.Grid1DFor(mf, block.X)
+	fptr := p.Fptr
+	kInd := p.X.UInds[0]
+	xv := p.X.Vals
+	yv := p.Out.Vals
+	dev.Launch(grid, block, func(ctx gpusim.Ctx) {
+		f := ctx.GlobalX()
+		if f >= mf {
+			return
+		}
+		var acc tensor.Value
+		for m := fptr[f]; m < fptr[f+1]; m++ {
+			acc += xv[m] * v[kInd[m]]
+		}
+		yv[f] = acc
+	})
+	return p.Out, nil
+}
+
+func (p *TtvHiCOOPlan) executeFibers(lo, hi int, v tensor.Vector) {
+	fptr := p.Fptr
+	kInd := p.X.UInds[0]
+	xv := p.X.Vals
+	yv := p.Out.Vals
+	for f := lo; f < hi; f++ {
+		var acc tensor.Value
+		for m := fptr[f]; m < fptr[f+1]; m++ {
+			acc += xv[m] * v[kInd[m]]
+		}
+		yv[f] = acc
+	}
+}
+
+func (p *TtvHiCOOPlan) checkVec(v tensor.Vector) error {
+	if len(v) != int(p.X.Dims[p.Mode]) {
+		return fmt.Errorf("core: Ttv vector length %d, want mode-%d size %d", len(v), p.Mode, p.X.Dims[p.Mode])
+	}
+	return nil
+}
+
+// FlopCount returns the floating-point work of one execution (2M flops).
+func (p *TtvHiCOOPlan) FlopCount() int64 { return 2 * int64(p.X.NNZ()) }

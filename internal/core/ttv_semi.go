@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// TtvSemiPlan is the tensor-times-vector kernel for a semi-sparse (sCOO)
+// input: contracting a sparse mode of an already partially dense tensor
+// against a dense vector. Together with TtmSemi it lets mixed Ttv/Ttm
+// chains (e.g. partial Tucker projections followed by vector
+// contractions) stay in semi-sparse form.
+type TtvSemiPlan struct {
+	// X is the semi-sparse input.
+	X *tensor.SemiCOO
+	// Mode is the (sparse) product mode n.
+	Mode int
+	// Out is the preallocated semi-sparse output: X's dense modes with
+	// mode n removed entirely.
+	Out *tensor.SemiCOO
+
+	outFiberInputs [][]int32
+	kOf            []tensor.Index
+}
+
+// PrepareTtvSemi groups the input fibers by their remaining sparse
+// coordinates and allocates the output.
+func PrepareTtvSemi(x *tensor.SemiCOO, mode int) (*TtvSemiPlan, error) {
+	if mode < 0 || mode >= x.Order() {
+		return nil, fmt.Errorf("core: TtvSemi mode %d out of range for order-%d tensor", mode, x.Order())
+	}
+	if x.IsDenseMode(mode) {
+		return nil, fmt.Errorf("core: TtvSemi mode %d is dense; contract sparse modes only", mode)
+	}
+	sparse := x.SparseModes()
+	modeSlot := -1
+	for si, n := range sparse {
+		if n == mode {
+			modeSlot = si
+		}
+	}
+	if modeSlot < 0 {
+		return nil, fmt.Errorf("core: TtvSemi internal: mode %d not sparse", mode)
+	}
+
+	// Output: drop mode n; dense modes keep their sizes, renumbered.
+	outDims := make([]tensor.Index, 0, x.Order()-1)
+	outDense := make([]int, 0, len(x.DenseModes))
+	for n := 0; n < x.Order(); n++ {
+		if n == mode {
+			continue
+		}
+		newN := n
+		if n > mode {
+			newN = n - 1
+		}
+		outDims = append(outDims, x.Dims[n])
+		if x.IsDenseMode(n) {
+			outDense = append(outDense, newN)
+		}
+	}
+	p := &TtvSemiPlan{X: x, Mode: mode}
+	p.Out = tensor.NewSemiCOO(outDims, outDense, 16)
+
+	nf := x.NumFibers()
+	p.kOf = make([]tensor.Index, nf)
+	groups := make(map[string]int, nf)
+	key := make([]byte, 4*(len(sparse)-1))
+	outSparseIdx := make([]tensor.Index, len(sparse)-1)
+	for f := 0; f < nf; f++ {
+		p.kOf[f] = x.Inds[modeSlot][f]
+		w := 0
+		for si := range sparse {
+			if si == modeSlot {
+				continue
+			}
+			i := x.Inds[si][f]
+			key[4*w], key[4*w+1], key[4*w+2], key[4*w+3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+			outSparseIdx[w] = i
+			w++
+		}
+		of, ok := groups[string(key)]
+		if !ok {
+			of = p.Out.AppendFiber(outSparseIdx)
+			groups[string(key)] = of
+			p.outFiberInputs = append(p.outFiberInputs, nil)
+		}
+		p.outFiberInputs[of] = append(p.outFiberInputs[of], int32(f))
+	}
+	return p, nil
+}
+
+// ExecuteSeq runs the value computation sequentially.
+func (p *TtvSemiPlan) ExecuteSeq(v tensor.Vector) (*tensor.SemiCOO, error) {
+	if err := p.checkVec(v); err != nil {
+		return nil, err
+	}
+	p.executeOutFibers(0, len(p.outFiberInputs), v)
+	return p.Out, nil
+}
+
+// ExecuteOMP parallelizes over output fibers.
+func (p *TtvSemiPlan) ExecuteOMP(v tensor.Vector, opt parallel.Options) (*tensor.SemiCOO, error) {
+	if err := p.checkVec(v); err != nil {
+		return nil, err
+	}
+	parallel.For(len(p.outFiberInputs), opt, func(lo, hi, _ int) {
+		p.executeOutFibers(lo, hi, v)
+	})
+	return p.Out, nil
+}
+
+func (p *TtvSemiPlan) executeOutFibers(lo, hi int, v tensor.Vector) {
+	ds := p.X.DenseSize() // output dense size equals input dense size
+	for of := lo; of < hi; of++ {
+		out := p.Out.FiberVals(of)
+		for i := range out {
+			out[i] = 0
+		}
+		for _, f := range p.outFiberInputs[of] {
+			in := p.X.Vals[int(f)*ds : (int(f)+1)*ds]
+			vv := v[p.kOf[f]]
+			for d, x := range in {
+				out[d] += x * vv
+			}
+		}
+	}
+}
+
+func (p *TtvSemiPlan) checkVec(v tensor.Vector) error {
+	if len(v) != int(p.X.Dims[p.Mode]) {
+		return fmt.Errorf("core: TtvSemi vector length %d, want %d", len(v), p.X.Dims[p.Mode])
+	}
+	return nil
+}
+
+// FlopCount returns the floating-point work of one execution.
+func (p *TtvSemiPlan) FlopCount() int64 { return 2 * int64(len(p.X.Vals)) }
+
+// TtvSemi is the convenience one-shot form.
+func TtvSemi(x *tensor.SemiCOO, v tensor.Vector, mode int) (*tensor.SemiCOO, error) {
+	p, err := PrepareTtvSemi(x, mode)
+	if err != nil {
+		return nil, err
+	}
+	return p.ExecuteSeq(v)
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+func TestTtvSemiMatchesCOOPath(t *testing.T) {
+	// Semi-sparse tensor from a Ttm, then contract another mode with a
+	// vector: must equal expanding to COO and running the Ttv kernel.
+	s := semiFromTtm(t, 300, []tensor.Index{15, 12, 18}, 500, 1, 4)
+	rng := rand.New(rand.NewSource(301))
+	for _, mode := range []int{0, 2} {
+		v := tensor.RandomVector(int(s.Dims[mode]), rng)
+		got, err := TtvSemi(s, v, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("mode %d: invalid output: %v", mode, err)
+		}
+		want, err := Ttv(s.ToCOO(), v, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareMaps(t, semiCOOToF64Map(got), cooToF64Map(want), "TtvSemi")
+	}
+}
+
+func TestTtvSemiOutputShape(t *testing.T) {
+	s := semiFromTtm(t, 302, []tensor.Index{10, 12, 8, 9}, 300, 3, 5)
+	v := tensor.NewVector(10)
+	got, err := TtvSemi(s, v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mode 0 removed: dims (12, 8, 5) with the last (previously mode 3,
+	// dense) renumbered to mode 2.
+	if got.Order() != 3 || got.Dims[0] != 12 || got.Dims[1] != 8 || got.Dims[2] != 5 {
+		t.Fatalf("output dims %v", got.Dims)
+	}
+	if len(got.DenseModes) != 1 || got.DenseModes[0] != 2 {
+		t.Fatalf("dense modes %v, want [2]", got.DenseModes)
+	}
+}
+
+func TestTtvSemiOMPMatchesSeq(t *testing.T) {
+	s := semiFromTtm(t, 303, []tensor.Index{30, 25, 20}, 2000, 2, 8)
+	v := tensor.RandomVector(30, rand.New(rand.NewSource(304)))
+	p, err := PrepareTtvSemi(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := p.ExecuteSeq(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]tensor.Value(nil), seq.Vals...)
+	if _, err := p.ExecuteOMP(v, parallel.Options{Schedule: parallel.Dynamic}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if p.Out.Vals[i] != want[i] {
+			t.Fatalf("OMP value %d differs", i)
+		}
+	}
+}
+
+func TestTtvSemiErrors(t *testing.T) {
+	s := semiFromTtm(t, 305, []tensor.Index{8, 8, 8}, 40, 1, 3)
+	if _, err := PrepareTtvSemi(s, 1); err == nil {
+		t.Fatal("expected dense-mode error")
+	}
+	if _, err := PrepareTtvSemi(s, 5); err == nil {
+		t.Fatal("expected range error")
+	}
+	p, err := PrepareTtvSemi(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ExecuteSeq(tensor.NewVector(3)); err == nil {
+		t.Fatal("expected vector-length error")
+	}
+	if _, err := p.ExecuteOMP(tensor.NewVector(3), parallel.Options{}); err == nil {
+		t.Fatal("expected vector-length error (OMP)")
+	}
+	if p.FlopCount() != 2*int64(len(s.Vals)) {
+		t.Fatalf("FlopCount = %d", p.FlopCount())
+	}
+}
+
+func TestTtvSemiChainEqualsTtvChain(t *testing.T) {
+	// Ttm on one mode then TtvSemi on the others must match contracting
+	// the original with Ttv first and Ttm last.
+	x := randTensor(306, []tensor.Index{12, 14, 10}, 400)
+	rng := rand.New(rand.NewSource(307))
+	u := tensor.NewMatrix(12, 4)
+	u.Randomize(rng)
+	v1 := tensor.RandomVector(14, rng)
+	v2 := tensor.RandomVector(10, rng)
+
+	// Path A: Ttm(0) → TtvSemi(1) → TtvSemi(2).
+	s, err := Ttm(x, u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = TtvSemi(s, v1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = TtvSemi(s, v2, 1) // previous mode 2 renumbered to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Order() != 1 || s.DenseSize() != 4 {
+		t.Fatalf("final shape %v dense %d", s.Dims, s.DenseSize())
+	}
+
+	// Path B: Ttv(2), Ttv(1) on COO, then Ttm(0).
+	y, err := Ttv(x, v2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err = Ttv(y, v1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Ttm(y, u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareMaps(t, semiCOOToF64Map(s), semiCOOToF64Map(w), "mixed chain")
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hicoo"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+func TestTtvHandcrafted(t *testing.T) {
+	// X(0,0,1)=2, X(0,0,3)=3, X(1,2,0)=4; v = [1,10,100,1000].
+	x := tensor.NewCOO([]tensor.Index{2, 3, 4}, 3)
+	x.AppendIdx3(0, 0, 1, 2)
+	x.AppendIdx3(0, 0, 3, 3)
+	x.AppendIdx3(1, 2, 0, 4)
+	v := tensor.Vector{1, 10, 100, 1000}
+	y, err := Ttv(x, v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Order() != 2 || y.Dims[0] != 2 || y.Dims[1] != 3 {
+		t.Fatalf("output shape %v", y.Dims)
+	}
+	if y.NNZ() != 2 {
+		t.Fatalf("output nnz %d, want 2", y.NNZ())
+	}
+	if got, _ := y.At(0, 0); got != 2*10+3*1000 {
+		t.Fatalf("y(0,0) = %v, want 3020", got)
+	}
+	if got, _ := y.At(1, 2); got != 4 {
+		t.Fatalf("y(1,2) = %v, want 4", got)
+	}
+}
+
+func TestTtvAgainstReferenceAllModes(t *testing.T) {
+	for _, dims := range [][]tensor.Index{
+		{20, 30, 40},
+		{15, 10, 8, 12},
+	} {
+		x := randTensor(30, dims, 800)
+		rng := rand.New(rand.NewSource(31))
+		for mode := 0; mode < len(dims); mode++ {
+			v := tensor.RandomVector(int(dims[mode]), rng)
+			y, err := Ttv(x, v, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareMaps(t, cooToF64Map(y), refTtv(x, v, mode), "Ttv")
+		}
+	}
+}
+
+func TestTtvParallelAndGPUAgree(t *testing.T) {
+	x := randTensor(32, []tensor.Index{50, 60, 70}, 5000)
+	rng := rand.New(rand.NewSource(33))
+	for mode := 0; mode < 3; mode++ {
+		p, err := PrepareTtv(x, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := tensor.RandomVector(int(x.Dims[mode]), rng)
+		seq, err := p.ExecuteSeq(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]tensor.Value(nil), seq.Vals...)
+		for _, sched := range []parallel.Schedule{parallel.Static, parallel.Dynamic, parallel.Guided} {
+			if _, err := p.ExecuteOMP(v, parallel.Options{Schedule: sched}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if p.Out.Vals[i] != want[i] {
+					t.Fatalf("mode %d OMP(%v) fiber %d differs", mode, sched, i)
+				}
+			}
+		}
+		if _, err := p.ExecuteGPU(testDevice(), v); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if p.Out.Vals[i] != want[i] {
+				t.Fatalf("mode %d GPU fiber %d differs", mode, i)
+			}
+		}
+	}
+}
+
+func TestTtvHiCOOMatchesCOO(t *testing.T) {
+	x := randTensor(34, []tensor.Index{40, 50, 60}, 2500)
+	rng := rand.New(rand.NewSource(35))
+	for mode := 0; mode < 3; mode++ {
+		v := tensor.RandomVector(int(x.Dims[mode]), rng)
+		hp, err := PrepareTtvHiCOO(x, mode, hicoo.DefaultBlockBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hy, err := hp.ExecuteSeq(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hy.Validate(); err != nil {
+			t.Fatalf("mode %d: HiCOO output invalid: %v", mode, err)
+		}
+		compareMaps(t, cooToF64Map(hy.ToCOO()), refTtv(x, v, mode), "HiCOO-Ttv")
+
+		want := append([]tensor.Value(nil), hy.Vals...)
+		if _, err := hp.ExecuteOMP(v, parallel.Options{Schedule: parallel.Dynamic}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if hp.Out.Vals[i] != want[i] {
+				t.Fatalf("mode %d HiCOO OMP fiber %d differs", mode, i)
+			}
+		}
+		if _, err := hp.ExecuteGPU(testDevice(), v); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if hp.Out.Vals[i] != want[i] {
+				t.Fatalf("mode %d HiCOO GPU fiber %d differs", mode, i)
+			}
+		}
+	}
+}
+
+func TestTtvOrder4HiCOO(t *testing.T) {
+	x := randTensor(36, []tensor.Index{12, 14, 10, 16}, 900)
+	rng := rand.New(rand.NewSource(37))
+	for mode := 0; mode < 4; mode++ {
+		v := tensor.RandomVector(int(x.Dims[mode]), rng)
+		hp, err := PrepareTtvHiCOO(x, mode, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hy, err := hp.ExecuteSeq(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareMaps(t, cooToF64Map(hy.ToCOO()), refTtv(x, v, mode), "HiCOO-Ttv-4d")
+	}
+}
+
+func TestTtvErrors(t *testing.T) {
+	x := randTensor(38, []tensor.Index{5, 5, 5}, 20)
+	if _, err := PrepareTtv(x, 3); err == nil {
+		t.Fatal("expected out-of-range mode error")
+	}
+	if _, err := PrepareTtv(x, -1); err == nil {
+		t.Fatal("expected negative mode error")
+	}
+	p, _ := PrepareTtv(x, 0)
+	if _, err := p.ExecuteSeq(tensor.NewVector(3)); err == nil {
+		t.Fatal("expected vector-length error")
+	}
+	if _, err := p.ExecuteOMP(tensor.NewVector(3), parallel.Options{}); err == nil {
+		t.Fatal("expected vector-length error (OMP)")
+	}
+	if _, err := p.ExecuteGPU(testDevice(), tensor.NewVector(3)); err == nil {
+		t.Fatal("expected vector-length error (GPU)")
+	}
+	vec := tensor.NewCOO([]tensor.Index{5}, 0)
+	if _, err := PrepareTtv(vec, 0); err == nil {
+		t.Fatal("expected order error for order-1 tensor")
+	}
+	if _, err := PrepareTtvHiCOO(x, 9, 4); err == nil {
+		t.Fatal("expected HiCOO mode error")
+	}
+}
+
+func TestTtvDoesNotModifyInput(t *testing.T) {
+	x := randTensor(39, []tensor.Index{10, 10, 10}, 100)
+	before := cooToF64Map(x)
+	v := tensor.NewVector(10)
+	if _, err := Ttv(x, v, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := cooToF64Map(x)
+	for k, bv := range before {
+		if after[k] != bv {
+			t.Fatal("Ttv modified its input")
+		}
+	}
+}
+
+func TestTtvProperty(t *testing.T) {
+	f := func(seed int64, modeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []tensor.Index{
+			tensor.Index(rng.Intn(25) + 1),
+			tensor.Index(rng.Intn(25) + 1),
+			tensor.Index(rng.Intn(25) + 1),
+		}
+		mode := int(modeRaw) % 3
+		x := tensor.RandomCOO(dims, rng.Intn(300)+1, rng)
+		v := tensor.RandomVector(int(dims[mode]), rng)
+		y, err := Ttv(x, v, mode)
+		if err != nil {
+			return false
+		}
+		want := refTtv(x, v, mode)
+		got := cooToF64Map(y)
+		for k, wv := range want {
+			if !closeEnough(got[k], wv) {
+				return false
+			}
+		}
+		return len(got) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTtvFlopCount(t *testing.T) {
+	x := randTensor(40, []tensor.Index{10, 10, 10}, 100)
+	p, _ := PrepareTtv(x, 0)
+	if p.FlopCount() != 2*int64(x.NNZ()) {
+		t.Fatalf("FlopCount = %d, want %d", p.FlopCount(), 2*x.NNZ())
+	}
+}

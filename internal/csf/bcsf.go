@@ -1,0 +1,150 @@
+package csf
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Balanced CSF (BCSF, Nisa et al. — cited as [25] in the paper's §7
+// future-work list) fixes the load imbalance of subtree-parallel Mttkrp:
+// power-law tensors concentrate most non-zeros under a few hub roots, so
+// a thread per root idles the rest of the machine. BCSF splits overweight
+// roots into bounded-size tasks; tasks of a shared root combine their
+// partial rows with atomic adds.
+
+// task is one balanced work unit: children [lo, hi) at level 1 under
+// root. A root light enough to fit the budget yields exactly one task.
+type task struct {
+	root   int32
+	lo, hi int64
+}
+
+// leafRange returns the leaf (non-zero) span under a node range at a
+// level by composing the fiber pointers down to the leaves.
+func (c *CSF) leafRange(level int, lo, hi int64) (int64, int64) {
+	for l := level; l < c.Order()-1; l++ {
+		lo = c.FPtr[l][lo]
+		hi = c.FPtr[l][hi]
+	}
+	return lo, hi
+}
+
+// buildTasks splits each root's level-1 children greedily so no task
+// exceeds maxLeaves non-zeros (single overweight children still form
+// their own task — the granularity floor is one child subtree).
+func (c *CSF) buildTasks(maxLeaves int64) []task {
+	if maxLeaves < 1 {
+		maxLeaves = 1
+	}
+	var tasks []task
+	if c.Order() < 2 {
+		return tasks
+	}
+	for root := 0; root < c.NumNodes(0); root++ {
+		lo := c.FPtr[0][root]
+		hi := c.FPtr[0][root+1]
+		start := lo
+		var acc int64
+		for ch := lo; ch < hi; ch++ {
+			cl, chh := c.leafRange(1, ch, ch+1)
+			w := chh - cl
+			if acc > 0 && acc+w > maxLeaves {
+				tasks = append(tasks, task{int32(root), start, ch})
+				start = ch
+				acc = 0
+			}
+			acc += w
+		}
+		if start < hi {
+			tasks = append(tasks, task{int32(root), start, hi})
+		}
+	}
+	return tasks
+}
+
+// MttkrpRootBalanced computes the root-mode Mttkrp with BCSF-style
+// balanced tasks: roots whose subtrees exceed maxLeaves non-zeros are
+// split, and each task accumulates a private R-vector that is atomically
+// merged into the shared output row. maxLeaves <= 0 selects a heuristic
+// (total non-zeros / 8·workers).
+func (c *CSF) MttkrpRootBalanced(mats []*tensor.Matrix, opt parallel.Options, maxLeaves int64) (*tensor.Matrix, error) {
+	order := c.Order()
+	if order < 2 {
+		return nil, fmt.Errorf("csf: Mttkrp needs an order >= 2 tensor")
+	}
+	if len(mats) != order {
+		return nil, fmt.Errorf("csf: got %d factor matrices, want %d", len(mats), order)
+	}
+	rootMode := c.ModeOrder[0]
+	r := 0
+	for l, u := range mats {
+		if l == rootMode {
+			continue
+		}
+		if u == nil {
+			return nil, fmt.Errorf("csf: factor matrix %d is nil", l)
+		}
+		if r == 0 {
+			r = u.Cols
+		}
+		if u.Rows != int(c.Dims[l]) || u.Cols != r {
+			return nil, fmt.Errorf("csf: factor %d is %dx%d, want %dx%d", l, u.Rows, u.Cols, c.Dims[l], r)
+		}
+	}
+	if maxLeaves <= 0 {
+		workers := opt.Threads
+		if workers <= 0 {
+			workers = parallel.NumThreads()
+		}
+		maxLeaves = int64(c.NNZ())/(8*int64(workers)) + 1
+	}
+	tasks := c.buildTasks(maxLeaves)
+	out := tensor.NewMatrix(int(c.Dims[rootMode]), r)
+
+	parallel.For(len(tasks), opt, func(lo, hi, _ int) {
+		scratch := make([]tensor.Value, (c.Order()-1)*r)
+		local := make([]tensor.Value, r)
+		for ti := lo; ti < hi; ti++ {
+			t := tasks[ti]
+			for i := range local {
+				local[i] = 0
+			}
+			c.accumulate(1, int(t.lo), int(t.hi), mats, scratch, r, local)
+			row := out.Row(int(c.FIds[0][t.root]))
+			for i := 0; i < r; i++ {
+				if local[i] != 0 {
+					parallel.AtomicAddFloat32(&row[i], local[i])
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// TaskStats reports the balance the task decomposition achieved — the
+// quantity BCSF improves over plain subtree parallelism.
+type TaskStats struct {
+	Roots     int
+	Tasks     int
+	MaxLeaves int64 // heaviest task
+	MinLeaves int64 // lightest task
+}
+
+// ComputeTaskStats builds the task list for a budget and measures it.
+func (c *CSF) ComputeTaskStats(maxLeaves int64) TaskStats {
+	tasks := c.buildTasks(maxLeaves)
+	st := TaskStats{Roots: c.NumNodes(0), Tasks: len(tasks)}
+	for i, t := range tasks {
+		lo, hi := c.leafRange(1, t.lo, t.hi)
+		w := hi - lo
+		if i == 0 || w > st.MaxLeaves {
+			st.MaxLeaves = w
+		}
+		if i == 0 || w < st.MinLeaves {
+			st.MinLeaves = w
+		}
+	}
+	return st
+}

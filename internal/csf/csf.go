@@ -1,0 +1,347 @@
+// Package csf implements the Compressed Sparse Fiber format of SPLATT
+// (Smith et al., IPDPS'15), which the paper's §7 lists as the next format
+// to add to the suite. CSF stores a sparse tensor as a forest: one tree
+// level per mode (in a configurable mode order), with fiber pointers
+// between levels. Mttkrp in the root mode parallelizes over root
+// subtrees without atomics — the lock-free contrast to COO-Mttkrp's
+// atomic updates.
+package csf
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// CSF is a compressed-sparse-fiber tensor.
+type CSF struct {
+	// Dims holds the size of each mode (tensor-mode numbering).
+	Dims []tensor.Index
+	// ModeOrder maps tree level → tensor mode (level 0 is the root).
+	ModeOrder []int
+	// FIds[l] holds the mode index of every node at level l; FIds[N-1]
+	// parallels Vals.
+	FIds [][]tensor.Index
+	// FPtr[l] holds, for each node at level l, the range of its children
+	// at level l+1 (len = numNodes(l)+1); there are N-1 pointer arrays.
+	FPtr [][]int64
+	// Vals holds the non-zero values at the leaves.
+	Vals []tensor.Value
+}
+
+// Order returns the number of modes.
+func (c *CSF) Order() int { return len(c.Dims) }
+
+// NNZ returns the number of stored non-zeros.
+func (c *CSF) NNZ() int { return len(c.Vals) }
+
+// NumNodes returns the node count at a level.
+func (c *CSF) NumNodes(level int) int { return len(c.FIds[level]) }
+
+// StorageBytes returns the CSF footprint: 64-bit fiber pointers, 32-bit
+// node indices, 32-bit values.
+func (c *CSF) StorageBytes() int64 {
+	var b int64
+	for _, p := range c.FPtr {
+		b += 8 * int64(len(p))
+	}
+	for _, f := range c.FIds {
+		b += 4 * int64(len(f))
+	}
+	return b + 4*int64(len(c.Vals))
+}
+
+// FromCOO builds a CSF tensor with the given level→mode order (defaults
+// to natural order when nil). The input is not modified.
+func FromCOO(t *tensor.COO, modeOrder []int) (*CSF, error) {
+	order := t.Order()
+	if modeOrder == nil {
+		modeOrder = make([]int, order)
+		for i := range modeOrder {
+			modeOrder[i] = i
+		}
+	}
+	if len(modeOrder) != order {
+		return nil, fmt.Errorf("csf: mode order length %d, want %d", len(modeOrder), order)
+	}
+	seen := make([]bool, order)
+	for _, m := range modeOrder {
+		if m < 0 || m >= order || seen[m] {
+			return nil, fmt.Errorf("csf: invalid mode order %v", modeOrder)
+		}
+		seen[m] = true
+	}
+	xs := t
+	if !xs.IsSortedBy(modeOrder) {
+		xs = t.Clone()
+		xs.Sort(modeOrder)
+	}
+	m := xs.NNZ()
+	c := &CSF{
+		Dims:      append([]tensor.Index(nil), t.Dims...),
+		ModeOrder: append([]int(nil), modeOrder...),
+		FIds:      make([][]tensor.Index, order),
+		FPtr:      make([][]int64, order-1),
+		Vals:      append([]tensor.Value(nil), xs.Vals...),
+	}
+	// Leaf level: every non-zero is a node.
+	leaf := order - 1
+	c.FIds[leaf] = append([]tensor.Index(nil), xs.Inds[modeOrder[leaf]]...)
+
+	// Build upper levels bottom-up: a node at level l is a maximal run of
+	// non-zeros agreeing on modes modeOrder[0..l].
+	for l := leaf - 1; l >= 0; l-- {
+		var fids []tensor.Index
+		var fptr []int64
+		for x := 0; x < m; x++ {
+			if x == 0 || !sameUpTo(xs, modeOrder, l, x-1, x) {
+				fids = append(fids, xs.Inds[modeOrder[l]][x])
+				fptr = append(fptr, int64(x))
+			}
+		}
+		fptr = append(fptr, int64(m))
+		// fptr currently indexes non-zeros; convert to child-node indexes
+		// by mapping positions through the child level's own starts.
+		if l == leaf-1 {
+			c.FPtr[l] = fptr
+		} else {
+			childStarts := c.nodeStarts(xs, modeOrder, l+1)
+			conv := make([]int64, len(fptr))
+			for i, p := range fptr {
+				conv[i] = int64(searchInt64(childStarts, p))
+			}
+			c.FPtr[l] = conv
+		}
+		c.FIds[l] = fids
+	}
+	return c, nil
+}
+
+// nodeStarts recomputes the first-non-zero offset of every node at a
+// level (used to convert non-zero offsets into child node numbers).
+func (c *CSF) nodeStarts(xs *tensor.COO, modeOrder []int, level int) []int64 {
+	var starts []int64
+	m := xs.NNZ()
+	for x := 0; x < m; x++ {
+		if x == 0 || !sameUpTo(xs, modeOrder, level, x-1, x) {
+			starts = append(starts, int64(x))
+		}
+	}
+	return starts
+}
+
+func sameUpTo(xs *tensor.COO, modeOrder []int, level, a, b int) bool {
+	for l := 0; l <= level; l++ {
+		n := modeOrder[l]
+		if xs.Inds[n][a] != xs.Inds[n][b] {
+			return false
+		}
+	}
+	return true
+}
+
+func searchInt64(a []int64, v int64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ToCOO expands the CSF tensor back to coordinate format.
+func (c *CSF) ToCOO() *tensor.COO {
+	out := tensor.NewCOO(c.Dims, c.NNZ())
+	idx := make([]tensor.Index, c.Order())
+	c.walk(0, 0, c.NumNodes(0), idx, &walkState{out: out})
+	return out
+}
+
+type walkState struct{ out *tensor.COO }
+
+// walk traverses nodes [lo, hi) at the given level depth-first.
+func (c *CSF) walk(level int, lo, hi int, idx []tensor.Index, st *walkState) {
+	leaf := c.Order() - 1
+	for node := lo; node < hi; node++ {
+		idx[c.ModeOrder[level]] = c.FIds[level][node]
+		if level == leaf {
+			st.out.Append(idx, c.Vals[node])
+			continue
+		}
+		c.walk(level+1, int(c.FPtr[level][node]), int(c.FPtr[level][node+1]), idx, st)
+	}
+}
+
+// Validate checks structural invariants.
+func (c *CSF) Validate() error {
+	order := c.Order()
+	if len(c.FIds) != order || len(c.FPtr) != order-1 {
+		return fmt.Errorf("csf: level arrays malformed")
+	}
+	for l := 0; l < order-1; l++ {
+		if len(c.FPtr[l]) != len(c.FIds[l])+1 {
+			return fmt.Errorf("csf: level %d has %d pointers for %d nodes", l, len(c.FPtr[l]), len(c.FIds[l]))
+		}
+		if c.FPtr[l][0] != 0 || c.FPtr[l][len(c.FPtr[l])-1] != int64(len(c.FIds[l+1])) {
+			return fmt.Errorf("csf: level %d pointers do not span children", l)
+		}
+		for i := 0; i+1 < len(c.FPtr[l]); i++ {
+			if c.FPtr[l][i+1] <= c.FPtr[l][i] {
+				return fmt.Errorf("csf: level %d node %d has no children", l, i)
+			}
+		}
+	}
+	if len(c.FIds[order-1]) != len(c.Vals) {
+		return fmt.Errorf("csf: leaf count %d != value count %d", len(c.FIds[order-1]), len(c.Vals))
+	}
+	for l := 0; l < order; l++ {
+		d := c.Dims[c.ModeOrder[l]]
+		for _, i := range c.FIds[l] {
+			if i >= d {
+				return fmt.Errorf("csf: level %d index %d out of range", l, i)
+			}
+		}
+	}
+	return nil
+}
+
+// MttkrpRoot computes the Mttkrp in the CSF's root mode without atomics:
+// root subtrees own disjoint output rows, so the parallel loop is
+// race-free — the structural advantage over COO-Mttkrp.
+func (c *CSF) MttkrpRoot(mats []*tensor.Matrix, opt parallel.Options) (*tensor.Matrix, error) {
+	order := c.Order()
+	if len(mats) != order {
+		return nil, fmt.Errorf("csf: got %d factor matrices, want %d", len(mats), order)
+	}
+	rootMode := c.ModeOrder[0]
+	r := 0
+	for l, u := range mats {
+		if l == rootMode {
+			continue
+		}
+		if u == nil {
+			return nil, fmt.Errorf("csf: factor matrix %d is nil", l)
+		}
+		if r == 0 {
+			r = u.Cols
+		}
+		if u.Rows != int(c.Dims[l]) || u.Cols != r {
+			return nil, fmt.Errorf("csf: factor %d is %dx%d, want %dx%d", l, u.Rows, u.Cols, c.Dims[l], r)
+		}
+	}
+	out := tensor.NewMatrix(int(c.Dims[rootMode]), r)
+	parallel.For(c.NumNodes(0), opt, func(lo, hi, _ int) {
+		scratch := make([]tensor.Value, (c.Order()-1)*r)
+		for root := lo; root < hi; root++ {
+			row := out.Row(int(c.FIds[0][root]))
+			c.accumulate(1, int(c.FPtr[0][root]), int(c.FPtr[0][root+1]), mats, scratch, r, row)
+		}
+	})
+	return out, nil
+}
+
+// accumulate adds the subtree contribution Σ_child U_l(fid,:) ⊙ g(child)
+// into dst; scratch provides one r-vector per tree level.
+func (c *CSF) accumulate(level, lo, hi int, mats []*tensor.Matrix, scratch []tensor.Value, r int, dst []tensor.Value) {
+	leaf := c.Order() - 1
+	mode := c.ModeOrder[level]
+	u := mats[mode]
+	if level == leaf {
+		for node := lo; node < hi; node++ {
+			v := c.Vals[node]
+			urow := u.Row(int(c.FIds[level][node]))
+			for i := 0; i < r; i++ {
+				dst[i] += v * urow[i]
+			}
+		}
+		return
+	}
+	buf := scratch[(level-1)*r : level*r]
+	for node := lo; node < hi; node++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		c.accumulate(level+1, int(c.FPtr[level][node]), int(c.FPtr[level][node+1]), mats, scratch, r, buf)
+		urow := u.Row(int(c.FIds[level][node]))
+		for i := 0; i < r; i++ {
+			dst[i] += urow[i] * buf[i]
+		}
+	}
+}
+
+// TtvLeaf computes the tensor-times-vector product in the CSF's leaf
+// mode: each level-(N-2) node reduces its leaves to one output non-zero.
+// The output is returned in COO format.
+func (c *CSF) TtvLeaf(v tensor.Vector, opt parallel.Options) (*tensor.COO, error) {
+	order := c.Order()
+	leafMode := c.ModeOrder[order-1]
+	if len(v) != int(c.Dims[leafMode]) {
+		return nil, fmt.Errorf("csf: vector length %d, want %d", len(v), c.Dims[leafMode])
+	}
+	outDims := make([]tensor.Index, 0, order-1)
+	for n := 0; n < order; n++ {
+		if n != leafMode {
+			outDims = append(outDims, c.Dims[n])
+		}
+	}
+	parents := c.NumNodes(order - 2)
+	out := &tensor.COO{
+		Dims: outDims,
+		Inds: make([][]tensor.Index, order-1),
+		Vals: make([]tensor.Value, parents),
+	}
+	for on := range out.Inds {
+		out.Inds[on] = make([]tensor.Index, parents)
+	}
+	// Map every level < N-1 to its output mode slot.
+	outSlot := make([]int, order) // tensor mode → output mode position
+	pos := 0
+	for n := 0; n < order; n++ {
+		if n != leafMode {
+			outSlot[n] = pos
+			pos++
+		}
+	}
+	// Fill indices by walking the upper levels once (sequential, cheap),
+	// then reduce leaves in parallel.
+	c.fillParentIndices(0, 0, c.NumNodes(0), make([]tensor.Index, order), outSlot, out)
+	fptr := c.FPtr[order-2]
+	leafIds := c.FIds[order-1]
+	parallel.For(parents, opt, func(lo, hi, _ int) {
+		for p := lo; p < hi; p++ {
+			var acc tensor.Value
+			for x := fptr[p]; x < fptr[p+1]; x++ {
+				acc += c.Vals[x] * v[leafIds[x]]
+			}
+			out.Vals[p] = acc
+		}
+	})
+	return out, nil
+}
+
+// fillParentIndices writes the coordinates of every level-(N-2) node into
+// the output index arrays (one output non-zero per node, in node order).
+func (c *CSF) fillParentIndices(level, lo, hi int, idx []tensor.Index, outSlot []int, out *tensor.COO) {
+	parentLevel := c.Order() - 2
+	for node := lo; node < hi; node++ {
+		mode := c.ModeOrder[level]
+		idx[mode] = c.FIds[level][node]
+		if level == parentLevel {
+			for l := 0; l <= parentLevel; l++ {
+				m := c.ModeOrder[l]
+				out.Inds[outSlot[m]][node] = idx[m]
+			}
+			continue
+		}
+		c.fillParentIndices(level+1, int(c.FPtr[level][node]), int(c.FPtr[level][node+1]), idx, outSlot, out)
+	}
+}
+
+func (c *CSF) String() string {
+	return fmt.Sprintf("CSF(order=%d dims=%v nnz=%d modeOrder=%v)", c.Order(), c.Dims, c.NNZ(), c.ModeOrder)
+}

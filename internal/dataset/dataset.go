@@ -1,0 +1,239 @@
+// Package dataset carries the paper's two tensor datasets: the 15
+// real-world tensors of Table 2 (FROSTT / HaTen2 / CHOA) and the 15
+// synthetic tensors of Table 3 (Kronecker and power-law generated).
+//
+// The real collections are multi-gigabyte online downloads, so this
+// reproduction materializes *scaled stand-ins*: tensors with the same
+// order, proportionally scaled mode sizes (preserving density regime and
+// mode-size ratios), and the non-zero distribution class of the original
+// (power-law for the graph-derived tensors, near-uniform otherwise). When
+// a real .tns file is present in the directory named by the PASTA_TENSOR_DIR
+// environment variable it is loaded instead. See DESIGN.md §2.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/gen"
+	"repro/internal/tensor"
+)
+
+// GenKind selects the stand-in generator class of an entry.
+type GenKind int
+
+const (
+	// Uniform marks tensors with near-uniform non-zero patterns (vast,
+	// nell2, crime4d, uber4d, nips4d).
+	Uniform GenKind = iota
+	// Skewed marks tensors with mild mode-0 skew (choa's patient mode).
+	Skewed
+	// Graph marks graph-derived tensors reproduced with the power-law
+	// generator (darpa, fb, flickr, deli, nell1, enron4d, ...).
+	Graph
+	// Kron marks Table 3 tensors from the Kronecker generator.
+	Kron
+	// PL marks Table 3 tensors from the biased power-law generator.
+	PL
+)
+
+func (g GenKind) String() string {
+	switch g {
+	case Uniform:
+		return "uniform"
+	case Skewed:
+		return "skewed"
+	case Graph:
+		return "graph-PL"
+	case Kron:
+		return "Kron."
+	case PL:
+		return "PL"
+	}
+	return "unknown"
+}
+
+// Entry describes one dataset tensor.
+type Entry struct {
+	// ID is the paper's row label (r1..r15, s1..s15).
+	ID string
+	// Name is the tensor name (vast, nell2, ..., regS, irrL4d).
+	Name string
+	// Gen is the stand-in generator class.
+	Gen GenKind
+	// PaperDims are the original mode sizes from Table 2/3.
+	PaperDims []int64
+	// PaperNNZ is the original non-zero count.
+	PaperNNZ int64
+	// SparseModes lists the power-law modes for Graph/PL entries.
+	SparseModes []int
+	// Domain is the application domain (real tensors only).
+	Domain string
+}
+
+// Order returns the tensor order.
+func (e Entry) Order() int { return len(e.PaperDims) }
+
+// PaperDensity returns nnz over the dense position count of the original.
+func (e Entry) PaperDensity() float64 {
+	p := 1.0
+	for _, d := range e.PaperDims {
+		p *= float64(d)
+	}
+	if p == 0 {
+		return 0
+	}
+	return float64(e.PaperNNZ) / p
+}
+
+// RealTensors returns the Table 2 registry in paper order.
+func RealTensors() []Entry {
+	return []Entry{
+		{ID: "r1", Name: "vast", Gen: Uniform, PaperDims: []int64{165000, 11000, 2}, PaperNNZ: 26e6, Domain: "pattern recognition"},
+		{ID: "r2", Name: "nell2", Gen: Uniform, PaperDims: []int64{12000, 9000, 29000}, PaperNNZ: 77e6, Domain: "natural language processing"},
+		{ID: "r3", Name: "choa", Gen: Skewed, PaperDims: []int64{712000, 10000, 767}, PaperNNZ: 27e6, Domain: "healthcare analytics"},
+		{ID: "r4", Name: "darpa", Gen: Graph, PaperDims: []int64{22000, 22000, 24e6}, PaperNNZ: 28e6, SparseModes: []int{0, 1}, Domain: "anomaly detection"},
+		{ID: "r5", Name: "fb-m", Gen: Graph, PaperDims: []int64{23e6, 23e6, 166}, PaperNNZ: 100e6, SparseModes: []int{0, 1}, Domain: "social network"},
+		{ID: "r6", Name: "fb-s", Gen: Graph, PaperDims: []int64{39e6, 39e6, 532}, PaperNNZ: 140e6, SparseModes: []int{0, 1}, Domain: "social network"},
+		{ID: "r7", Name: "flickr", Gen: Graph, PaperDims: []int64{320000, 28e6, 1600000}, PaperNNZ: 113e6, SparseModes: []int{0, 1, 2}, Domain: "recommendation"},
+		{ID: "r8", Name: "deli", Gen: Graph, PaperDims: []int64{533000, 17e6, 2500000}, PaperNNZ: 140e6, SparseModes: []int{0, 1, 2}, Domain: "recommendation"},
+		{ID: "r9", Name: "nell1", Gen: Graph, PaperDims: []int64{2900000, 2100000, 25e6}, PaperNNZ: 144e6, SparseModes: []int{0, 1, 2}, Domain: "natural language processing"},
+		{ID: "r10", Name: "crime4d", Gen: Uniform, PaperDims: []int64{6000, 24, 77, 32}, PaperNNZ: 5e6, Domain: "crime detection"},
+		{ID: "r11", Name: "uber4d", Gen: Uniform, PaperDims: []int64{183, 24, 1140, 1717}, PaperNNZ: 3e6, Domain: "transportation"},
+		{ID: "r12", Name: "nips4d", Gen: Uniform, PaperDims: []int64{2000, 3000, 14000, 17}, PaperNNZ: 3e6, Domain: "pattern recognition"},
+		{ID: "r13", Name: "enron4d", Gen: Graph, PaperDims: []int64{6000, 6000, 244000, 1000}, PaperNNZ: 54e6, SparseModes: []int{0, 1, 2}, Domain: "anomaly detection"},
+		{ID: "r14", Name: "flickr4d", Gen: Graph, PaperDims: []int64{320000, 28e6, 1600000, 731}, PaperNNZ: 113e6, SparseModes: []int{0, 1, 2}, Domain: "recommendation"},
+		{ID: "r15", Name: "deli4d", Gen: Graph, PaperDims: []int64{533000, 17e6, 2500000, 1000}, PaperNNZ: 140e6, SparseModes: []int{0, 1, 2}, Domain: "recommendation"},
+	}
+}
+
+// Synthetic returns the Table 3 registry in paper order.
+func Synthetic() []Entry {
+	return []Entry{
+		{ID: "s1", Name: "regS", Gen: Kron, PaperDims: []int64{65000, 65000, 65000}, PaperNNZ: 1.1e6},
+		{ID: "s2", Name: "regM", Gen: Kron, PaperDims: []int64{1.1e6, 1.1e6, 1.1e6}, PaperNNZ: 11.5e6},
+		{ID: "s3", Name: "regL", Gen: Kron, PaperDims: []int64{8.3e6, 8.3e6, 8.3e6}, PaperNNZ: 94e6},
+		{ID: "s4", Name: "irrS", Gen: PL, PaperDims: []int64{32000, 32000, 76}, PaperNNZ: 1e6, SparseModes: []int{0, 1}},
+		{ID: "s5", Name: "irrM", Gen: PL, PaperDims: []int64{524000, 524000, 126}, PaperNNZ: 10e6, SparseModes: []int{0, 1}},
+		{ID: "s6", Name: "irrL", Gen: PL, PaperDims: []int64{4.2e6, 4.2e6, 168}, PaperNNZ: 84e6, SparseModes: []int{0, 1}},
+		{ID: "s7", Name: "regS4d", Gen: Kron, PaperDims: []int64{8200, 8200, 8200, 8200}, PaperNNZ: 1e6},
+		{ID: "s8", Name: "regM4d", Gen: Kron, PaperDims: []int64{2.1e6, 2.1e6, 2.1e6, 2.1e6}, PaperNNZ: 11.2e6},
+		{ID: "s9", Name: "regL4d", Gen: Kron, PaperDims: []int64{8.3e6, 8.3e6, 8.3e6, 8.3e6}, PaperNNZ: 110e6},
+		{ID: "s10", Name: "irrS4d", Gen: PL, PaperDims: []int64{1.6e6, 1.6e6, 1.6e6, 82}, PaperNNZ: 1.0e6, SparseModes: []int{0, 1, 2}},
+		{ID: "s11", Name: "irrM4d", Gen: PL, PaperDims: []int64{2.6e6, 2.6e6, 2.6e6, 144}, PaperNNZ: 10.8e6, SparseModes: []int{0, 1, 2}},
+		{ID: "s12", Name: "irrL4d", Gen: PL, PaperDims: []int64{4.2e6, 4.2e6, 4.2e6, 226}, PaperNNZ: 100e6, SparseModes: []int{0, 1, 2}},
+		{ID: "s13", Name: "irr2S4d", Gen: PL, PaperDims: []int64{1.0e6, 1.0e6, 122, 436}, PaperNNZ: 1.6e6, SparseModes: []int{0, 1}},
+		{ID: "s14", Name: "irr2M4d", Gen: PL, PaperDims: []int64{4.2e6, 4.2e6, 232, 746}, PaperNNZ: 19.9e6, SparseModes: []int{0, 1}},
+		{ID: "s15", Name: "irr2L4d", Gen: PL, PaperDims: []int64{8.3e6, 8.3e6, 952, 324}, PaperNNZ: 109e6, SparseModes: []int{0, 1}},
+	}
+}
+
+// ByID resolves an entry from either registry.
+func ByID(id string) (Entry, error) {
+	for _, e := range append(RealTensors(), Synthetic()...) {
+		if e.ID == id || e.Name == id {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("dataset: unknown tensor %q", id)
+}
+
+// TensorDirEnv names the environment variable pointing at a directory of
+// real .tns files; Materialize prefers <dir>/<name>.tns when present.
+const TensorDirEnv = "PASTA_TENSOR_DIR"
+
+// ScaledDims shrinks the paper dims so the stand-in with targetNNZ
+// non-zeros preserves the original density: every mode scales by
+// (target/paperNNZ)^(1/order), floored at 2 and capped at the original.
+func (e Entry) ScaledDims(targetNNZ int) []tensor.Index {
+	f := math.Pow(float64(targetNNZ)/float64(e.PaperNNZ), 1/float64(e.Order()))
+	if f > 1 {
+		f = 1
+	}
+	dims := make([]tensor.Index, e.Order())
+	for n, d := range e.PaperDims {
+		s := int64(math.Round(float64(d) * f))
+		if s < 2 {
+			s = 2
+		}
+		if s > d {
+			s = d
+		}
+		dims[n] = tensor.Index(s)
+	}
+	return dims
+}
+
+// Materialize produces the tensor for an entry: the real .tns file when
+// available, otherwise a scaled stand-in with about targetNNZ non-zeros
+// generated per the entry's class. Generation is deterministic in seed.
+func Materialize(e Entry, targetNNZ int, seed int64) (*tensor.COO, error) {
+	if dir := os.Getenv(TensorDirEnv); dir != "" {
+		for _, suffix := range []string{".tns", ".tns.gz"} {
+			path := filepath.Join(dir, e.Name+suffix)
+			if _, err := os.Stat(path); err == nil {
+				return tensor.ReadTNSFile(path)
+			}
+		}
+	}
+	if targetNNZ <= 0 {
+		return nil, fmt.Errorf("dataset: targetNNZ must be positive")
+	}
+	dims := e.ScaledDims(targetNNZ)
+	// Never ask for more non-zeros than half the scaled index space.
+	numEl := 1.0
+	for _, d := range dims {
+		numEl *= float64(d)
+	}
+	if float64(targetNNZ) > numEl/2 {
+		targetNNZ = int(numEl / 2)
+		if targetNNZ < 1 {
+			targetNNZ = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch e.Gen {
+	case Uniform:
+		return tensor.RandomCOO(dims, targetNNZ, rng), nil
+	case Skewed:
+		return tensor.RandomCOOSkewed(dims, targetNNZ, rng), nil
+	case Graph, PL:
+		sparse := e.SparseModes
+		if len(sparse) == 0 {
+			return nil, fmt.Errorf("dataset: %s has no sparse modes configured", e.ID)
+		}
+		// Drop sparse modes whose scaled size collapsed below the Zipf
+		// minimum.
+		usable := make([]int, 0, len(sparse))
+		for _, n := range sparse {
+			if dims[n] >= 2 {
+				usable = append(usable, n)
+			}
+		}
+		return gen.PowerLaw(gen.PowerLawConfig{
+			Dims:        dims,
+			SparseModes: usable,
+			NNZ:         targetNNZ,
+		}, rng)
+	case Kron:
+		return gen.Kronecker(dims, targetNNZ, nil, rng)
+	}
+	return nil, fmt.Errorf("dataset: unknown generator kind %d", int(e.Gen))
+}
+
+// Summary is a measured description of a materialized tensor for the
+// Table 2/3 reproduction output.
+type Summary struct {
+	Entry   Entry
+	Dims    []tensor.Index
+	NNZ     int
+	Density float64
+}
+
+// Summarize measures a materialized tensor against its entry.
+func Summarize(e Entry, t *tensor.COO) Summary {
+	return Summary{Entry: e, Dims: t.Dims, NNZ: t.NNZ(), Density: t.Density()}
+}

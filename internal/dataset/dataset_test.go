@@ -1,0 +1,228 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/tensor"
+)
+
+func TestRegistriesMatchTableCounts(t *testing.T) {
+	real := RealTensors()
+	if len(real) != 15 {
+		t.Fatalf("Table 2 has %d entries, want 15", len(real))
+	}
+	syn := Synthetic()
+	if len(syn) != 15 {
+		t.Fatalf("Table 3 has %d entries, want 15", len(syn))
+	}
+	// Paper ordering: real tensors sorted by order then decreasing density.
+	for i, e := range real {
+		wantID := "r" + itoa(i+1)
+		if e.ID != wantID {
+			t.Fatalf("entry %d has ID %s, want %s", i, e.ID, wantID)
+		}
+	}
+	for i := 1; i < 9; i++ { // r1..r9 are third-order, densities decreasing
+		if real[i].Order() != 3 {
+			t.Fatalf("%s should be third order", real[i].ID)
+		}
+		if real[i].PaperDensity() > real[i-1].PaperDensity() {
+			t.Fatalf("%s density above %s", real[i].ID, real[i-1].ID)
+		}
+	}
+	for i := 9; i < 15; i++ {
+		if real[i].Order() != 4 {
+			t.Fatalf("%s should be fourth order", real[i].ID)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+func TestTable2SpotValues(t *testing.T) {
+	e, err := ByID("choa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "r3" || e.Order() != 3 || e.PaperNNZ != 27e6 {
+		t.Fatalf("choa entry wrong: %+v", e)
+	}
+	d := e.PaperDensity()
+	if d < 4e-6 || d > 6e-6 { // paper: 5.0e-6
+		t.Fatalf("choa density %v, paper says 5.0e-6", d)
+	}
+	deli4d, _ := ByID("deli4d")
+	d4 := deli4d.PaperDensity()
+	if d4 > 1e-14 { // paper: 4.3e-15
+		t.Fatalf("deli4d density %v, paper says 4.3e-15", d4)
+	}
+}
+
+func TestTable3SpotValues(t *testing.T) {
+	s1, err := ByID("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Name != "regS" || s1.Gen != Kron || s1.PaperNNZ != 1.1e6 {
+		t.Fatalf("s1 entry wrong: %+v", s1)
+	}
+	d := s1.PaperDensity()
+	if d < 3e-9 || d > 5e-9 { // paper: 3.72e-9
+		t.Fatalf("regS density %v, paper says 3.72e-9", d)
+	}
+	s13, _ := ByID("irr2S4d")
+	if s13.Gen != PL || len(s13.SparseModes) != 2 {
+		t.Fatalf("s13 entry wrong: %+v", s13)
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("nonexistent"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestScaledDimsPreserveDensityRegime(t *testing.T) {
+	e, _ := ByID("fb-m") // 23M × 23M × 166, 100M nnz
+	dims := e.ScaledDims(10000)
+	if len(dims) != 3 {
+		t.Fatal("order lost")
+	}
+	// Modes 0 and 1 stay equidimensional, mode 2 stays much smaller.
+	if dims[0] != dims[1] {
+		t.Fatalf("equidimensional modes diverged: %v", dims)
+	}
+	if dims[2] >= dims[0] {
+		t.Fatalf("mode ratio lost: %v", dims)
+	}
+	// No mode grows, none collapses below 2.
+	for n, d := range dims {
+		if int64(d) > e.PaperDims[n] || d < 2 {
+			t.Fatalf("mode %d scaled to %d", n, d)
+		}
+	}
+}
+
+func TestMaterializeAllEntries(t *testing.T) {
+	for _, e := range append(RealTensors(), Synthetic()...) {
+		x, err := Materialize(e, 3000, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if err := x.Validate(); err != nil {
+			t.Fatalf("%s: invalid tensor: %v", e.ID, err)
+		}
+		if x.Order() != e.Order() {
+			t.Fatalf("%s: order %d, want %d", e.ID, x.Order(), e.Order())
+		}
+		if x.NNZ() == 0 {
+			t.Fatalf("%s: empty stand-in", e.ID)
+		}
+	}
+}
+
+func TestMaterializeDeterministic(t *testing.T) {
+	e, _ := ByID("regS")
+	a, err := Materialize(e, 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Materialize(e, 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.AbsDiff(a, b) != 0 {
+		t.Fatal("stand-in not deterministic in seed")
+	}
+}
+
+func TestMaterializeGraphStandInsAreSkewed(t *testing.T) {
+	e, _ := ByID("deli") // graph-derived: power-law stand-in
+	x, err := Materialize(e, 8000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := gen.DegreeSkew(x, 1); s < 5 {
+		t.Fatalf("deli stand-in mode-1 skew %v, want heavy tail", s)
+	}
+	u, _ := ByID("nell2") // uniform stand-in
+	y, err := Materialize(u, 8000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := gen.DegreeSkew(y, 0); s > 6 {
+		t.Fatalf("nell2 stand-in skew %v, want near-uniform", s)
+	}
+}
+
+func TestMaterializePrefersRealFile(t *testing.T) {
+	dir := t.TempDir()
+	// Write a tiny fake "vast.tns" and point the env var at it.
+	x := tensor.NewCOO([]tensor.Index{3, 3, 2}, 2)
+	x.AppendIdx3(0, 1, 1, 5)
+	x.AppendIdx3(2, 2, 0, 7)
+	if err := tensor.WriteTNSFile(filepath.Join(dir, "vast.tns"), x); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(TensorDirEnv, dir)
+	e, _ := ByID("vast")
+	got, err := Materialize(e, 99999, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 2 {
+		t.Fatalf("expected the real file (2 nnz), got %d nnz", got.NNZ())
+	}
+	// Other entries still use stand-ins.
+	os.Remove(filepath.Join(dir, "vast.tns"))
+}
+
+func TestMaterializeErrors(t *testing.T) {
+	e, _ := ByID("vast")
+	if _, err := Materialize(e, 0, 1); err == nil {
+		t.Fatal("expected error for non-positive target")
+	}
+}
+
+func TestMaterializeClampsOverdenseTarget(t *testing.T) {
+	// vast scaled tiny: requesting more nnz than half the index space
+	// must clamp instead of looping forever.
+	e, _ := ByID("vast")
+	x, err := Materialize(e, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(x.NNZ()) > x.NumEl() {
+		t.Fatal("overdense stand-in")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	e, _ := ByID("nips4d")
+	x, err := Materialize(e, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(e, x)
+	if s.NNZ != x.NNZ() || s.Density != x.Density() || len(s.Dims) != 4 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+}
+
+func TestGenKindStrings(t *testing.T) {
+	for k, want := range map[GenKind]string{
+		Uniform: "uniform", Skewed: "skewed", Graph: "graph-PL", Kron: "Kron.", PL: "PL",
+	} {
+		if k.String() != want {
+			t.Errorf("GenKind %d string %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

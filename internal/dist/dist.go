@@ -1,0 +1,135 @@
+// Package dist simulates distributed-memory execution of the benchmark
+// kernels — §7 lists "distributed systems" and adapting the suite "in a
+// communication scheme" as upcoming work. Ranks are goroutines connected
+// by channels (message passing, no shared mutable state); collectives are
+// implemented as a real ring allreduce whose communication volume and
+// message counts are recorded, so the harness can model network time with
+// the standard alpha-beta (latency-bandwidth) cost model.
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tensor"
+)
+
+// Comm is a simulated communicator over size ranks. Neighboring ranks
+// exchange messages over buffered channels; every payload transfer is
+// accounted.
+type Comm struct {
+	size int
+	// right[r] carries messages from rank r to rank (r+1) % size.
+	right []chan []tensor.Value
+
+	bytesSent atomic.Int64
+	messages  atomic.Int64
+}
+
+// NewComm returns a communicator over p ranks (p >= 1).
+func NewComm(p int) (*Comm, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("dist: communicator needs >= 1 rank, got %d", p)
+	}
+	c := &Comm{size: p, right: make([]chan []tensor.Value, p)}
+	for i := range c.right {
+		c.right[i] = make(chan []tensor.Value, 1)
+	}
+	return c, nil
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Stats reports the cumulative communication volume.
+func (c *Comm) Stats() (bytes, messages int64) {
+	return c.bytesSent.Load(), c.messages.Load()
+}
+
+// Run executes fn once per rank concurrently and waits for all ranks.
+func (c *Comm) Run(fn func(rank int)) {
+	var wg sync.WaitGroup
+	wg.Add(c.size)
+	for r := 0; r < c.size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			fn(rank)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// sendRight transfers a payload from rank to its right neighbor.
+func (c *Comm) sendRight(rank int, data []tensor.Value) {
+	c.bytesSent.Add(4 * int64(len(data)))
+	c.messages.Add(1)
+	c.right[rank] <- data
+}
+
+// recvLeft receives the payload sent by the left neighbor.
+func (c *Comm) recvLeft(rank int) []tensor.Value {
+	left := (rank - 1 + c.size) % c.size
+	return <-c.right[left]
+}
+
+// AllReduceSum sums the equal-length buffers of all ranks element-wise,
+// leaving the full result in every rank's buffer. It is a textbook ring
+// allreduce (reduce-scatter then allgather): 2(P-1) messages per rank and
+// ~2 n (P-1)/P values moved per rank, the volume the alpha-beta model
+// charges. Buffers are modified in place. Must be called by every rank.
+func (c *Comm) AllReduceSum(rank int, buf []tensor.Value) {
+	p := c.size
+	if p == 1 {
+		return
+	}
+	n := len(buf)
+	segStart := func(s int) int { return s * n / p }
+	segEnd := func(s int) int { return (s + 1) * n / p }
+
+	// Reduce-scatter: after P-1 steps, rank r holds the fully reduced
+	// segment (r+1) mod P.
+	for step := 0; step < p-1; step++ {
+		sendSeg := ((rank-step)%p + p) % p
+		recvSeg := ((rank-step-1)%p + p) % p
+		out := append([]tensor.Value(nil), buf[segStart(sendSeg):segEnd(sendSeg)]...)
+		c.sendRight(rank, out)
+		in := c.recvLeft(rank)
+		dst := buf[segStart(recvSeg):segEnd(recvSeg)]
+		for i := range dst {
+			dst[i] += in[i]
+		}
+	}
+	// Allgather: circulate the reduced segments.
+	for step := 0; step < p-1; step++ {
+		sendSeg := ((rank+1-step)%p + p) % p
+		recvSeg := ((rank-step)%p + p) % p
+		out := append([]tensor.Value(nil), buf[segStart(sendSeg):segEnd(sendSeg)]...)
+		c.sendRight(rank, out)
+		in := c.recvLeft(rank)
+		copy(buf[segStart(recvSeg):segEnd(recvSeg)], in)
+	}
+}
+
+// NetworkModel is the alpha-beta cost model for the simulated network.
+type NetworkModel struct {
+	// LatencySec is the per-message latency (alpha).
+	LatencySec float64
+	// BandwidthGBs is the per-link bandwidth (1/beta).
+	BandwidthGBs float64
+}
+
+// DefaultNetwork approximates a 100 Gb/s HPC interconnect.
+var DefaultNetwork = NetworkModel{LatencySec: 2e-6, BandwidthGBs: 12.5}
+
+// AllReduceTime returns the modeled wall time of a ring allreduce of
+// nBytes across p ranks: 2(P-1) latency terms plus 2 nBytes (P-1)/P over
+// the link bandwidth.
+func (nm NetworkModel) AllReduceTime(nBytes int64, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	steps := float64(2 * (p - 1))
+	vol := 2 * float64(nBytes) * float64(p-1) / float64(p)
+	return steps*nm.LatencySec + vol/(nm.BandwidthGBs*1e9)
+}

@@ -1,0 +1,190 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+func TestAllReduceSum(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7} {
+		c, err := NewComm(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 37
+		bufs := make([][]tensor.Value, p)
+		want := make([]tensor.Value, n)
+		for r := 0; r < p; r++ {
+			bufs[r] = make([]tensor.Value, n)
+			for i := range bufs[r] {
+				bufs[r][i] = tensor.Value(r*100 + i)
+				want[i] += bufs[r][i]
+			}
+		}
+		c.Run(func(rank int) { c.AllReduceSum(rank, bufs[rank]) })
+		for r := 0; r < p; r++ {
+			for i := range want {
+				if math.Abs(float64(bufs[r][i]-want[i])) > 1e-3 {
+					t.Fatalf("p=%d rank %d element %d = %v, want %v", p, r, i, bufs[r][i], want[i])
+				}
+			}
+		}
+		// Message accounting: 2(P-1) messages per rank.
+		_, msgs := c.Stats()
+		if p > 1 && msgs != int64(2*(p-1)*p) {
+			t.Fatalf("p=%d: %d messages, want %d", p, msgs, 2*(p-1)*p)
+		}
+		if p == 1 && msgs != 0 {
+			t.Fatal("single rank should not communicate")
+		}
+	}
+}
+
+func TestAllReduceSumProperty(t *testing.T) {
+	f := func(seed int64, pRaw, nRaw uint8) bool {
+		p := int(pRaw)%6 + 1
+		n := int(nRaw)%100 + 1
+		rng := rand.New(rand.NewSource(seed))
+		c, err := NewComm(p)
+		if err != nil {
+			return false
+		}
+		bufs := make([][]tensor.Value, p)
+		want := make([]float64, n)
+		for r := 0; r < p; r++ {
+			bufs[r] = make([]tensor.Value, n)
+			for i := range bufs[r] {
+				bufs[r][i] = tensor.Value(rng.Float64())
+				want[i] += float64(bufs[r][i])
+			}
+		}
+		c.Run(func(rank int) { c.AllReduceSum(rank, bufs[rank]) })
+		for r := 0; r < p; r++ {
+			for i := range want {
+				if math.Abs(float64(bufs[r][i])-want[i]) > 1e-4 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCommError(t *testing.T) {
+	if _, err := NewComm(0); err == nil {
+		t.Fatal("expected error for zero ranks")
+	}
+}
+
+func TestDistributedMttkrpMatchesLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandomCOO([]tensor.Index{40, 35, 30}, 3000, rng)
+	r := 8
+	mats := make([]*tensor.Matrix, 3)
+	for n := range mats {
+		mats[n] = tensor.NewMatrix(int(x.Dims[n]), r)
+		mats[n].Randomize(rng)
+	}
+	want, err := core.Mttkrp(x, mats, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 5} {
+		c, err := NewComm(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Mttkrp(c, DefaultNetwork, x, mats, 0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			g, w := float64(res.Out.Data[i]), float64(want.Data[i])
+			if math.Abs(g-w) > 2e-3*math.Max(1, math.Abs(w)) {
+				t.Fatalf("p=%d element %d: %v vs %v", p, i, g, w)
+			}
+		}
+		if p > 1 {
+			if res.CommBytes <= 0 || res.CommMessages <= 0 {
+				t.Fatalf("p=%d: communication not accounted: %+v", p, res)
+			}
+			if res.ModeledCommSec <= 0 {
+				t.Fatal("modeled communication time missing")
+			}
+		} else if res.CommBytes != 0 {
+			t.Fatal("single rank should not communicate")
+		}
+	}
+}
+
+func TestDistributedMttkrpErrors(t *testing.T) {
+	x := tensor.RandomCOO([]tensor.Index{5, 5, 5}, 20, rand.New(rand.NewSource(2)))
+	c, _ := NewComm(2)
+	if _, err := Mttkrp(c, DefaultNetwork, x, nil, 9, 4); err == nil {
+		t.Fatal("expected mode error")
+	}
+	if _, err := Mttkrp(c, DefaultNetwork, x, []*tensor.Matrix{nil}, 0, 4); err == nil {
+		t.Fatal("expected matrices error")
+	}
+}
+
+func TestDistributedTtvMatchesLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.RandomCOO([]tensor.Index{30, 40, 25}, 2000, rng)
+	v := tensor.RandomVector(40, rng)
+	want, err := core.Ttv(x, v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 3, 6} {
+		c, _ := NewComm(p)
+		res, err := Ttv(c, x, v, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.AbsDiff(res.Out, want); d > 1e-3 {
+			t.Fatalf("p=%d: diff %v", p, d)
+		}
+		if p > 1 && res.CommBytes <= 0 {
+			t.Fatal("gather not accounted")
+		}
+	}
+	if _, err := Ttv(NewCommMust(2), x, tensor.NewVector(3), 1); err == nil {
+		t.Fatal("expected vector-length error")
+	}
+}
+
+// NewCommMust is a test helper.
+func NewCommMust(p int) *Comm {
+	c, err := NewComm(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestAllReduceTimeModel(t *testing.T) {
+	nm := DefaultNetwork
+	if nm.AllReduceTime(1<<20, 1) != 0 {
+		t.Fatal("single rank should cost nothing")
+	}
+	t2 := nm.AllReduceTime(1<<20, 2)
+	t8 := nm.AllReduceTime(1<<20, 8)
+	if t2 <= 0 || t8 <= t2 {
+		t.Fatalf("alpha-beta model not monotone in ranks for fixed data: %v vs %v", t2, t8)
+	}
+	// Bandwidth term dominates for big payloads: time ≈ 2·vol/BW.
+	big := nm.AllReduceTime(1<<30, 4)
+	wantApprox := 2 * float64(1<<30) * 3 / 4 / (nm.BandwidthGBs * 1e9)
+	if math.Abs(big-wantApprox)/wantApprox > 0.05 {
+		t.Fatalf("large-payload time %v, want ≈ %v", big, wantApprox)
+	}
+}

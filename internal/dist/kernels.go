@@ -1,0 +1,132 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// MttkrpResult carries a distributed Mttkrp's output and its measured
+// communication, plus the alpha-beta modeled times.
+type MttkrpResult struct {
+	// Out is the reduced output matrix (identical on every rank).
+	Out *tensor.Matrix
+	// CommBytes and CommMessages are the measured allreduce traffic.
+	CommBytes    int64
+	CommMessages int64
+	// ModeledCommSec is the alpha-beta time of the allreduce.
+	ModeledCommSec float64
+}
+
+// Mttkrp runs the mode-n Mttkrp over a communicator: non-zeros are
+// partitioned contiguously across ranks (the coarse-grained distribution
+// of distributed CP-ALS), each rank computes a local partial Ã over its
+// shard, and a ring allreduce combines the partials. The factor matrices
+// are replicated, matching medium-scale distributed MTTKRP practice.
+func Mttkrp(c *Comm, net NetworkModel, x *tensor.COO, mats []*tensor.Matrix, mode, r int) (*MttkrpResult, error) {
+	if mode < 0 || mode >= x.Order() {
+		return nil, fmt.Errorf("dist: mode %d out of range", mode)
+	}
+	rows := int(x.Dims[mode])
+	m := x.NNZ()
+	p := c.Size()
+
+	// Per-rank shards as independent COO views (sharing index arrays).
+	partials := make([]*tensor.Matrix, p)
+	errs := make([]error, p)
+	before, _ := c.Stats()
+	c.Run(func(rank int) {
+		lo := rank * m / p
+		hi := (rank + 1) * m / p
+		local := &tensor.COO{Dims: x.Dims, Inds: shardInds(x, lo, hi), Vals: x.Vals[lo:hi]}
+		plan, err := core.PrepareMttkrp(local, mode, r)
+		if err != nil {
+			errs[rank] = err
+			return
+		}
+		out, err := plan.ExecuteSeq(mats)
+		if err != nil {
+			errs[rank] = err
+			return
+		}
+		partials[rank] = out
+		c.AllReduceSum(rank, out.Data)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	after, msgs := c.Stats()
+
+	res := &MttkrpResult{
+		Out:          partials[0],
+		CommBytes:    after - before,
+		CommMessages: msgs,
+	}
+	res.ModeledCommSec = net.AllReduceTime(4*int64(rows)*int64(r), p)
+	return res, nil
+}
+
+// shardInds returns per-mode index slices for non-zeros [lo, hi).
+func shardInds(x *tensor.COO, lo, hi int) [][]tensor.Index {
+	out := make([][]tensor.Index, x.Order())
+	for n := range out {
+		out[n] = x.Inds[n][lo:hi]
+	}
+	return out
+}
+
+// TtvResult carries a distributed Ttv's gathered output.
+type TtvResult struct {
+	// Out is the complete output tensor (gathered at rank 0's shard
+	// order, which equals the fiber order of the sorted input).
+	Out *tensor.COO
+	// CommBytes is the measured gather traffic.
+	CommBytes int64
+}
+
+// Ttv runs the mode-n Ttv over a communicator: fibers are partitioned
+// contiguously (their outputs are disjoint), each rank reduces its
+// fibers, and the value segments are concatenated — modeled as a gather
+// of 4·MF bytes to the root.
+func Ttv(c *Comm, x *tensor.COO, v tensor.Vector, mode int) (*TtvResult, error) {
+	plan, err := core.PrepareTtv(x, mode)
+	if err != nil {
+		return nil, err
+	}
+	if len(v) != int(x.Dims[mode]) {
+		return nil, fmt.Errorf("dist: vector length %d, want %d", len(v), x.Dims[mode])
+	}
+	mf := plan.NumFibers()
+	p := c.Size()
+	segs := make([][]tensor.Value, p)
+	fptr := plan.Fptr
+	kInd := plan.X.Inds[mode]
+	xv := plan.X.Vals
+	c.Run(func(rank int) {
+		lo := rank * mf / p
+		hi := (rank + 1) * mf / p
+		seg := make([]tensor.Value, hi-lo)
+		for f := lo; f < hi; f++ {
+			var acc tensor.Value
+			for mIdx := fptr[f]; mIdx < fptr[f+1]; mIdx++ {
+				acc += xv[mIdx] * v[kInd[mIdx]]
+			}
+			seg[f-lo] = acc
+		}
+		segs[rank] = seg
+	})
+	// Gather (accounted as communication from every non-root rank).
+	var bytes int64
+	w := 0
+	for rank, seg := range segs {
+		if rank != 0 {
+			bytes += 4 * int64(len(seg))
+		}
+		copy(plan.Out.Vals[w:], seg)
+		w += len(seg)
+	}
+	return &TtvResult{Out: plan.Out, CommBytes: bytes}, nil
+}

@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestKroneckerCustomInitiator drives the generator with a hand-built
+// non-2×2 initiator, exercising the general cellCoords/sampling paths.
+func TestKroneckerCustomInitiator(t *testing.T) {
+	// 3×3 initiator per mode (order 2), strongly biased to cell (0,0).
+	probs := make([]float64, 9)
+	rest := 0.4 / 8
+	for i := range probs {
+		probs[i] = rest
+	}
+	probs[0] = 0.6
+	init := &Initiator{Dims: []int{3, 3}, Probs: probs}
+	if err := init.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x, err := Kronecker([]tensor.Index{729, 729}, 3000, init, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() != 3000 {
+		t.Fatalf("nnz %d, want 3000", x.NNZ())
+	}
+	// Corner bias: the first third of each mode must hold well over a
+	// third of the non-zeros.
+	inCorner := 0
+	for m := 0; m < x.NNZ(); m++ {
+		if x.Inds[0][m] < 243 && x.Inds[1][m] < 243 {
+			inCorner++
+		}
+	}
+	if frac := float64(inCorner) / float64(x.NNZ()); frac < 0.3 {
+		t.Fatalf("corner fraction %v, want heavy bias", frac)
+	}
+}
+
+// TestKroneckerSaturatedSpace: requesting more distinct coordinates than
+// exist must terminate via the attempt cap rather than hang.
+func TestKroneckerSaturatedSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, err := Kronecker([]tensor.Index{4, 4}, 100, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() > 16 {
+		t.Fatalf("nnz %d exceeds the coordinate space", x.NNZ())
+	}
+	if x.NNZ() == 0 {
+		t.Fatal("generator produced nothing")
+	}
+}
+
+// TestPowerLawSaturatedSpace mirrors the cap check for the PL generator.
+func TestPowerLawSaturatedSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, err := PowerLaw(PowerLawConfig{
+		Dims:        []tensor.Index{3, 3, 2},
+		SparseModes: []int{0, 1},
+		NNZ:         500,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() > 18 || x.NNZ() == 0 {
+		t.Fatalf("nnz %d outside (0,18]", x.NNZ())
+	}
+}
+
+func TestSampleCDF(t *testing.T) {
+	cdf := []float64{0.25, 0.5, 0.75, 1.0}
+	cases := []struct {
+		u    float64
+		want int
+	}{{0.0, 0}, {0.2, 0}, {0.25, 0}, {0.26, 1}, {0.74, 2}, {0.99, 3}, {1.0, 3}}
+	for _, c := range cases {
+		if got := sampleCDF(cdf, c.u); got != c.want {
+			t.Errorf("sampleCDF(%v) = %d, want %d", c.u, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package gpusim is the suite's CUDA-substitute execution substrate. The
+// paper's GPU kernels are written against a grid/thread-block model; this
+// package reproduces that model functionally so the identical kernel
+// bodies (one-dimensional grids of one- or two-dimensional thread blocks,
+// per-thread index arithmetic, atomicAdd) execute on the host and can be
+// validated against the serial CPU reference implementations.
+//
+// Thread blocks are scheduled across a worker pool, mirroring how a GPU
+// schedules blocks across streaming multiprocessors. Threads within a
+// block run sequentially, which preserves the semantics of the paper's
+// kernels (they are data-parallel and never use __syncthreads or shared
+// memory — §3.4: "advanced techniques ... are not adopted").
+//
+// Timing on this simulator is NOT meaningful GPU timing; the analytic
+// model in internal/perfmodel provides the paper-comparable GFLOPS.
+package gpusim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// Dim3 mirrors CUDA's dim3 launch geometry.
+type Dim3 struct{ X, Y, Z int }
+
+// Count returns the number of points in the 3-D range.
+func (d Dim3) Count() int {
+	x, y, z := d.X, d.Y, d.Z
+	if x == 0 {
+		x = 1
+	}
+	if y == 0 {
+		y = 1
+	}
+	if z == 0 {
+		z = 1
+	}
+	return x * y * z
+}
+
+// Dim1 builds a one-dimensional Dim3.
+func Dim1(x int) Dim3 { return Dim3{X: x, Y: 1, Z: 1} }
+
+// Dim2 builds a two-dimensional Dim3.
+func Dim2(x, y int) Dim3 { return Dim3{X: x, Y: y, Z: 1} }
+
+// Ctx carries the per-thread identifiers a CUDA kernel reads.
+type Ctx struct {
+	BlockIdx  Dim3
+	ThreadIdx Dim3
+	BlockDim  Dim3
+	GridDim   Dim3
+}
+
+// GlobalX returns blockIdx.x*blockDim.x + threadIdx.x, the standard
+// 1-D global thread index.
+func (c Ctx) GlobalX() int { return c.BlockIdx.X*c.BlockDim.X + c.ThreadIdx.X }
+
+// GlobalY returns blockIdx.y*blockDim.y + threadIdx.y.
+func (c Ctx) GlobalY() int { return c.BlockIdx.Y*c.BlockDim.Y + c.ThreadIdx.Y }
+
+// Kernel is the body executed once per thread.
+type Kernel func(ctx Ctx)
+
+// Device is a simulated CUDA device. SMs bounds block-level concurrency
+// during simulation (capped by host cores).
+type Device struct {
+	Name               string
+	SMs                int
+	WarpSize           int
+	MaxThreadsPerBlock int
+
+	blocksLaunched  atomic.Int64
+	threadsLaunched atomic.Int64
+	kernelsLaunched atomic.Int64
+}
+
+// NewDevice returns a device with the given SM count (0 selects the host
+// core count).
+func NewDevice(name string, sms int) *Device {
+	if sms <= 0 {
+		sms = runtime.GOMAXPROCS(0)
+	}
+	return &Device{Name: name, SMs: sms, WarpSize: 32, MaxThreadsPerBlock: 1024}
+}
+
+// DefaultBlockThreads is the paper's 1-D thread-block size (M non-zeros are
+// assigned to M/256 blocks of 256 threads, §3.2.2).
+const DefaultBlockThreads = 256
+
+// LaunchStats reports what a launch executed.
+type LaunchStats struct {
+	Grid, Block     Dim3
+	Blocks, Threads int
+}
+
+// Launch executes the kernel over grid × block geometry and blocks until
+// every thread has run. It panics on invalid geometry, mirroring a CUDA
+// launch failure.
+func (d *Device) Launch(grid, block Dim3, kernel Kernel) LaunchStats {
+	if grid.Count() <= 0 || block.Count() <= 0 {
+		panic(fmt.Sprintf("gpusim: invalid launch geometry grid=%+v block=%+v", grid, block))
+	}
+	if block.Count() > d.MaxThreadsPerBlock {
+		panic(fmt.Sprintf("gpusim: block of %d threads exceeds device limit %d", block.Count(), d.MaxThreadsPerBlock))
+	}
+	nBlocks := grid.Count()
+	workers := d.SMs
+	if hc := runtime.GOMAXPROCS(0); workers > hc {
+		workers = hc
+	}
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nBlocks {
+					return
+				}
+				d.runBlock(grid, block, b, kernel)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := LaunchStats{Grid: grid, Block: block, Blocks: nBlocks, Threads: nBlocks * block.Count()}
+	d.blocksLaunched.Add(int64(st.Blocks))
+	d.threadsLaunched.Add(int64(st.Threads))
+	d.kernelsLaunched.Add(1)
+	return st
+}
+
+// runBlock executes all threads of linear block b sequentially.
+func (d *Device) runBlock(grid, block Dim3, b int, kernel Kernel) {
+	gx := max1(grid.X)
+	gy := max1(grid.Y)
+	bi := Dim3{X: b % gx, Y: (b / gx) % gy, Z: b / (gx * gy)}
+	ctx := Ctx{BlockIdx: bi, BlockDim: block, GridDim: grid}
+	for tz := 0; tz < max1(block.Z); tz++ {
+		for ty := 0; ty < max1(block.Y); ty++ {
+			for tx := 0; tx < max1(block.X); tx++ {
+				ctx.ThreadIdx = Dim3{X: tx, Y: ty, Z: tz}
+				kernel(ctx)
+			}
+		}
+	}
+}
+
+func max1(x int) int {
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+// Counters reports cumulative launch statistics for the device.
+func (d *Device) Counters() (kernels, blocks, threads int64) {
+	return d.kernelsLaunched.Load(), d.blocksLaunched.Load(), d.threadsLaunched.Load()
+}
+
+// AtomicAdd is the device-side atomicAdd on single-precision floats.
+func AtomicAdd(addr *float32, v float32) { parallel.AtomicAddFloat32(addr, v) }
+
+// Grid1DFor returns the 1-D grid that covers n work items with the given
+// threads per block: ceil(n/threads) blocks.
+func Grid1DFor(n, threadsPerBlock int) Dim3 {
+	if threadsPerBlock <= 0 {
+		threadsPerBlock = DefaultBlockThreads
+	}
+	blocks := (n + threadsPerBlock - 1) / threadsPerBlock
+	if blocks < 1 {
+		blocks = 1
+	}
+	return Dim1(blocks)
+}

@@ -1,0 +1,162 @@
+package gpusim
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDim3Count(t *testing.T) {
+	cases := []struct {
+		d    Dim3
+		want int
+	}{
+		{Dim1(5), 5},
+		{Dim2(3, 4), 12},
+		{Dim3{X: 2, Y: 3, Z: 4}, 24},
+		{Dim3{X: 7}, 7}, // zero Y/Z treated as 1
+	}
+	for _, c := range cases {
+		if got := c.d.Count(); got != c.want {
+			t.Errorf("Count(%+v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestLaunchCoversEveryThreadOnce(t *testing.T) {
+	dev := NewDevice("test", 8)
+	grid := Dim2(5, 3)
+	block := Dim2(4, 2)
+	total := grid.Count() * block.Count()
+	seen := make([]int32, total)
+	st := dev.Launch(grid, block, func(c Ctx) {
+		// Linearize (block, thread) uniquely.
+		b := c.BlockIdx.X + c.BlockIdx.Y*c.GridDim.X
+		th := c.ThreadIdx.X + c.ThreadIdx.Y*c.BlockDim.X
+		atomic.AddInt32(&seen[b*block.Count()+th], 1)
+	})
+	if st.Blocks != 15 || st.Threads != total {
+		t.Fatalf("stats = %+v", st)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("thread %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestLaunchCoverageProperty(t *testing.T) {
+	dev := NewDevice("prop", 4)
+	f := func(gxRaw, bxRaw, byRaw uint8) bool {
+		gx := int(gxRaw)%20 + 1
+		bx := int(bxRaw)%16 + 1
+		by := int(byRaw)%8 + 1
+		grid := Dim1(gx)
+		block := Dim2(bx, by)
+		var count atomic.Int64
+		dev.Launch(grid, block, func(c Ctx) { count.Add(1) })
+		return count.Load() == int64(gx*bx*by)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalIndices(t *testing.T) {
+	dev := NewDevice("idx", 2)
+	n := 1000
+	block := Dim1(DefaultBlockThreads)
+	grid := Grid1DFor(n, block.X)
+	if grid.X != 4 {
+		t.Fatalf("grid.X = %d, want 4", grid.X)
+	}
+	hits := make([]int32, n)
+	dev.Launch(grid, block, func(c Ctx) {
+		if i := c.GlobalX(); i < n {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("global index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestThreadsWithinBlockRunSequentially(t *testing.T) {
+	// Within one block, thread order must be x-fastest with no
+	// interleaving, so a non-atomic append is safe.
+	dev := NewDevice("seq", 4)
+	var order []int
+	dev.Launch(Dim1(1), Dim2(3, 2), func(c Ctx) {
+		order = append(order, c.ThreadIdx.Y*3+c.ThreadIdx.X)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("thread order %v, want ascending", order)
+		}
+	}
+}
+
+func TestAtomicAddUnderContention(t *testing.T) {
+	dev := NewDevice("atomic", 16)
+	var sum float32
+	n := 4096
+	dev.Launch(Grid1DFor(n, 256), Dim1(256), func(c Ctx) {
+		if c.GlobalX() < n {
+			AtomicAdd(&sum, 1)
+		}
+	})
+	if sum != float32(n) {
+		t.Fatalf("sum = %v, want %d", sum, n)
+	}
+}
+
+func TestLaunchPanicsOnBadGeometry(t *testing.T) {
+	dev := NewDevice("bad", 2)
+	for name, fn := range map[string]func(){
+		"negative grid": func() { dev.Launch(Dim1(-2), Dim1(1), func(Ctx) {}) },
+		"huge block":    func() { dev.Launch(Dim1(1), Dim1(4096), func(Ctx) {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCounters(t *testing.T) {
+	dev := NewDevice("ctr", 2)
+	dev.Launch(Dim1(3), Dim1(4), func(Ctx) {})
+	dev.Launch(Dim1(2), Dim1(8), func(Ctx) {})
+	k, b, th := dev.Counters()
+	if k != 2 || b != 5 || th != 3*4+2*8 {
+		t.Fatalf("counters = %d,%d,%d", k, b, th)
+	}
+}
+
+func TestNewDeviceDefaults(t *testing.T) {
+	dev := NewDevice("d", 0)
+	if dev.SMs < 1 || dev.WarpSize != 32 || dev.MaxThreadsPerBlock != 1024 {
+		t.Fatalf("defaults = %+v", dev)
+	}
+}
+
+func TestGrid1DForEdgeCases(t *testing.T) {
+	if g := Grid1DFor(0, 256); g.X != 1 {
+		t.Fatalf("Grid1DFor(0) = %+v, want 1 block", g)
+	}
+	if g := Grid1DFor(256, 256); g.X != 1 {
+		t.Fatalf("Grid1DFor(256) = %+v", g)
+	}
+	if g := Grid1DFor(257, 256); g.X != 2 {
+		t.Fatalf("Grid1DFor(257) = %+v", g)
+	}
+	if g := Grid1DFor(100, 0); g.X != 1 {
+		t.Fatalf("Grid1DFor default threads = %+v", g)
+	}
+}

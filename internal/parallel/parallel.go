@@ -1,0 +1,246 @@
+// Package parallel is the suite's stand-in for the OpenMP runtime used by
+// the paper's CPU kernels. It provides a work-sharing parallel-for with
+// static, dynamic, and guided scheduling, atomic float32 accumulation
+// ("omp atomic"), and per-worker reduction scratch ("omp reduction").
+//
+// Threads are goroutines pinned to a fixed worker count (default
+// GOMAXPROCS, matching the paper's one-thread-per-physical-core setup).
+package parallel
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Schedule selects the OpenMP loop-scheduling policy.
+type Schedule int
+
+const (
+	// Static divides the iteration space into equal contiguous ranges, one
+	// per thread (OpenMP schedule(static)).
+	Static Schedule = iota
+	// Dynamic hands out fixed-size chunks from a shared counter
+	// (schedule(dynamic, chunk)); good for skewed fiber lengths.
+	Dynamic
+	// Guided hands out geometrically shrinking chunks
+	// (schedule(guided, chunk)).
+	Guided
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	}
+	return "unknown"
+}
+
+var numThreads atomic.Int64
+
+func init() { numThreads.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// NumThreads returns the worker count used by For.
+func NumThreads() int { return int(numThreads.Load()) }
+
+// SetNumThreads overrides the worker count (OMP_NUM_THREADS). Values < 1
+// reset to GOMAXPROCS.
+func SetNumThreads(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	numThreads.Store(int64(n))
+}
+
+// Options configures one parallel loop.
+type Options struct {
+	Schedule Schedule
+	// Chunk is the chunk size for Dynamic/Guided (minimum chunk for
+	// Guided). Zero selects a heuristic.
+	Chunk int
+	// Threads overrides NumThreads for this loop when > 0.
+	Threads int
+}
+
+// For executes body over the half-open range [0, n) using the configured
+// schedule. body is called with sub-ranges [lo, hi) and the worker id in
+// [0, threads); each index is visited exactly once. For returns after all
+// iterations complete.
+func For(n int, opt Options, body func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = NumThreads()
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads == 1 {
+		body(0, n, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	switch opt.Schedule {
+	case Static:
+		chunk := opt.Chunk
+		if chunk <= 0 {
+			// One contiguous range per thread.
+			for w := 0; w < threads; w++ {
+				lo := w * n / threads
+				hi := (w + 1) * n / threads
+				go func(lo, hi, w int) {
+					defer wg.Done()
+					if lo < hi {
+						body(lo, hi, w)
+					}
+				}(lo, hi, w)
+			}
+		} else {
+			// Round-robin chunks of fixed size, OpenMP schedule(static, c).
+			for w := 0; w < threads; w++ {
+				go func(w int) {
+					defer wg.Done()
+					for lo := w * chunk; lo < n; lo += threads * chunk {
+						hi := lo + chunk
+						if hi > n {
+							hi = n
+						}
+						body(lo, hi, w)
+					}
+				}(w)
+			}
+		}
+	case Dynamic:
+		chunk := opt.Chunk
+		if chunk <= 0 {
+			chunk = heuristicChunk(n, threads)
+		}
+		var next atomic.Int64
+		for w := 0; w < threads; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for {
+					lo := int(next.Add(int64(chunk))) - chunk
+					if lo >= n {
+						return
+					}
+					hi := lo + chunk
+					if hi > n {
+						hi = n
+					}
+					body(lo, hi, w)
+				}
+			}(w)
+		}
+	case Guided:
+		minChunk := opt.Chunk
+		if minChunk <= 0 {
+			minChunk = 1
+		}
+		var next atomic.Int64
+		for w := 0; w < threads; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for {
+					lo := int(next.Load())
+					if lo >= n {
+						return
+					}
+					remaining := n - lo
+					chunk := remaining / (2 * threads)
+					if chunk < minChunk {
+						chunk = minChunk
+					}
+					// Claim [lo, lo+chunk) if lo is still current.
+					if !next.CompareAndSwap(int64(lo), int64(lo+chunk)) {
+						continue
+					}
+					hi := lo + chunk
+					if hi > n {
+						hi = n
+					}
+					body(lo, hi, w)
+				}
+			}(w)
+		}
+	default:
+		panic("parallel: unknown schedule")
+	}
+	wg.Wait()
+}
+
+// ForEach is For with a per-index body, for loops whose iterations are too
+// coarse to benefit from manual range handling.
+func ForEach(n int, opt Options, body func(i, worker int)) {
+	For(n, opt, func(lo, hi, w int) {
+		for i := lo; i < hi; i++ {
+			body(i, w)
+		}
+	})
+}
+
+func heuristicChunk(n, threads int) int {
+	c := n / (threads * 16)
+	if c < 1 {
+		c = 1
+	}
+	if c > 4096 {
+		c = 4096
+	}
+	return c
+}
+
+// AtomicAddFloat32 atomically adds delta to *addr using a compare-and-swap
+// loop on the value's bit pattern — the Go equivalent of "omp atomic" /
+// CUDA atomicAdd on float.
+func AtomicAddFloat32(addr *float32, delta float32) {
+	p := (*uint32)(unsafe.Pointer(addr))
+	for {
+		old := atomic.LoadUint32(p)
+		cur := math.Float32frombits(old)
+		nxt := math.Float32bits(cur + delta)
+		if atomic.CompareAndSwapUint32(p, old, nxt) {
+			return
+		}
+	}
+}
+
+// AtomicAddFloat64 atomically adds delta to *addr.
+func AtomicAddFloat64(addr *float64, delta float64) {
+	p := (*uint64)(unsafe.Pointer(addr))
+	for {
+		old := atomic.LoadUint64(p)
+		cur := math.Float64frombits(old)
+		nxt := math.Float64bits(cur + delta)
+		if atomic.CompareAndSwapUint64(p, old, nxt) {
+			return
+		}
+	}
+}
+
+// ReduceFloat64 runs body over [0, n) and returns the sum of all per-call
+// partial results — the equivalent of "omp parallel for reduction(+)".
+func ReduceFloat64(n int, opt Options, body func(lo, hi, worker int) float64) float64 {
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = NumThreads()
+	}
+	partial := make([]float64, threads)
+	For(n, opt, func(lo, hi, w int) {
+		partial[w] += body(lo, hi, w)
+	})
+	var sum float64
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}

@@ -1,0 +1,133 @@
+package parallel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortInt32sSmall(t *testing.T) {
+	keys := []int32{5, 3, 8, 1}
+	idx := []int32{0, 1, 2, 3}
+	SortInt32s(idx, func(a, b int32) bool { return keys[a] < keys[b] })
+	want := []int32{3, 1, 0, 2}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("idx = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestSortInt32sLargeMatchesStdlib(t *testing.T) {
+	// Large enough to take the parallel path.
+	n := 1 << 17
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(1000) // many duplicates
+	}
+	idx := make([]int32, n)
+	ref := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+		ref[i] = int32(i)
+	}
+	less := func(a, b int32) bool { return keys[a] < keys[b] }
+	SortInt32s(idx, less)
+	sort.SliceStable(ref, func(i, j int) bool { return less(ref[i], ref[j]) })
+	for i := 0; i < n; i++ {
+		// Keys must agree positionally; with duplicates the permutations
+		// may differ, but a stable parallel sort should match exactly.
+		if keys[idx[i]] != keys[ref[i]] {
+			t.Fatalf("position %d: key %d, want %d", i, keys[idx[i]], keys[ref[i]])
+		}
+	}
+	// Verify it is a permutation.
+	seen := make([]bool, n)
+	for _, v := range idx {
+		if seen[v] {
+			t.Fatal("duplicate index after sort")
+		}
+		seen[v] = true
+	}
+}
+
+func TestSortInt32sStability(t *testing.T) {
+	// With equal keys, earlier indices must come first (stable), matching
+	// sort.SliceStable.
+	n := 1 << 16
+	keys := make([]int32, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range keys {
+		keys[i] = int32(rng.Intn(8)) // heavy duplication
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	SortInt32s(idx, func(a, b int32) bool { return keys[a] < keys[b] })
+	for i := 1; i < n; i++ {
+		ka, kb := keys[idx[i-1]], keys[idx[i]]
+		if ka > kb {
+			t.Fatal("not sorted")
+		}
+		if ka == kb && idx[i-1] > idx[i] {
+			t.Fatalf("unstable at %d: %d before %d", i, idx[i-1], idx[i])
+		}
+	}
+}
+
+func TestSortInt32sThreadCounts(t *testing.T) {
+	orig := NumThreads()
+	defer SetNumThreads(orig)
+	for _, threads := range []int{1, 2, 3, 8} {
+		SetNumThreads(threads)
+		n := 1 << 15
+		rng := rand.New(rand.NewSource(int64(threads)))
+		keys := make([]int32, n)
+		for i := range keys {
+			keys[i] = rng.Int31()
+		}
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		SortInt32s(idx, func(a, b int32) bool { return keys[a] < keys[b] })
+		for i := 1; i < n; i++ {
+			if keys[idx[i-1]] > keys[idx[i]] {
+				t.Fatalf("threads=%d: not sorted at %d", threads, i)
+			}
+		}
+	}
+}
+
+func TestSortInt32sProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint32) bool {
+		n := int(nRaw) % (1 << 16)
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]int32, n)
+		for i := range keys {
+			keys[i] = int32(rng.Intn(100))
+		}
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		SortInt32s(idx, func(a, b int32) bool { return keys[a] < keys[b] })
+		seen := make([]bool, n)
+		for i, v := range idx {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+			if i > 0 && keys[idx[i-1]] > keys[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

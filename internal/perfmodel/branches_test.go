@@ -1,0 +1,88 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/roofline"
+)
+
+// TestGPUUnderutilizationFewBlocks exercises the HiCOO-Mttkrp GPU branch
+// where the tensor has fewer blocks than the device can keep in flight:
+// the prediction must degrade relative to a block-rich workload.
+func TestGPUUnderutilizationFewBlocks(t *testing.T) {
+	rich := largeWorkload()
+	poor := rich
+	poor.Nb = 4 // four tensor blocks for a 56-SM device
+	poor.BlockImbalance = 8
+	gRich := Predict(&platform.DGX1P, roofline.Mttkrp, roofline.HiCOO, rich).GFLOPS
+	gPoor := Predict(&platform.DGX1P, roofline.Mttkrp, roofline.HiCOO, poor).GFLOPS
+	if gPoor >= gRich {
+		t.Fatalf("few-blocks workload %v >= block-rich %v", gPoor, gRich)
+	}
+}
+
+// TestHiCOOGatherReliefCPUOnly verifies the Morton-locality relief lowers
+// CPU Ttv time but not GPU time.
+func TestHiCOOGatherReliefCPUOnly(t *testing.T) {
+	w := largeWorkload()
+	// Make the gather target huge so the miss term dominates.
+	w.Dims = []int64{50_000_000, 10000, 767}
+	cpuCOO := Predict(&platform.Bluesky, roofline.Ttv, roofline.COO, w)
+	cpuHi := Predict(&platform.Bluesky, roofline.Ttv, roofline.HiCOO, w)
+	if cpuHi.TimeSec >= cpuCOO.TimeSec {
+		t.Fatalf("CPU HiCOO Ttv %v >= COO %v", cpuHi.TimeSec, cpuCOO.TimeSec)
+	}
+	gpuCOO := Predict(&platform.DGX1V, roofline.Ttv, roofline.COO, w)
+	gpuHi := Predict(&platform.DGX1V, roofline.Ttv, roofline.HiCOO, w)
+	ratio := gpuHi.TimeSec / gpuCOO.TimeSec
+	if ratio < 0.99 || ratio > 1.01 {
+		t.Fatalf("GPU Ttv HiCOO/COO time ratio %v, want ≈ 1 (no relief on GPUs)", ratio)
+	}
+}
+
+// TestFiberImbalanceHurtsGPUMoreThanCPU: thread-per-fiber mapping with a
+// few fibers amplifies skew on the GPU.
+func TestFiberImbalanceDegradesTtv(t *testing.T) {
+	balanced := largeWorkload()
+	balanced.FiberImbalance = 1
+	skewed := balanced
+	skewed.FiberImbalance = 500
+	skewed.MF = 2000 // few fibers: imbalance cannot average out
+	gb := Predict(&platform.DGX1P, roofline.Ttv, roofline.COO, balanced).GFLOPS
+	gs := Predict(&platform.DGX1P, roofline.Ttv, roofline.COO, skewed).GFLOPS
+	if gs >= gb {
+		t.Fatalf("skewed Ttv %v >= balanced %v", gs, gb)
+	}
+}
+
+// TestCollisionsRaiseAtomicTime pins the Mttkrp contention term.
+func TestCollisionsRaiseAtomicTime(t *testing.T) {
+	lo := largeWorkload()
+	lo.Collisions = 1
+	hi := largeWorkload()
+	hi.Collisions = 10000
+	bl := Predict(&platform.Bluesky, roofline.Mttkrp, roofline.COO, lo)
+	bh := Predict(&platform.Bluesky, roofline.Mttkrp, roofline.COO, hi)
+	if bh.AtomicTime <= bl.AtomicTime {
+		t.Fatalf("contended atomic time %v <= uncontended %v", bh.AtomicTime, bl.AtomicTime)
+	}
+}
+
+// TestBreakdownFieldsPopulated checks the exposed diagnostics.
+func TestBreakdownFieldsPopulated(t *testing.T) {
+	b := Predict(&platform.DGX1V, roofline.Mttkrp, roofline.COO, largeWorkload())
+	if b.MemTime <= 0 || b.ComputeTime <= 0 || b.AtomicTime <= 0 {
+		t.Fatalf("missing term times: %+v", b)
+	}
+	if b.Overhead <= 0 || b.EffBW <= 0 || b.OI <= 0 || b.Bytes <= 0 || b.Flops <= 0 {
+		t.Fatalf("missing diagnostics: %+v", b)
+	}
+	ts := Predict(&platform.Bluesky, roofline.Ts, roofline.COO, largeWorkload())
+	if ts.AtomicTime != 0 {
+		t.Fatal("Ts should have no atomic term")
+	}
+	if ts.ImbalanceFactor != 1 {
+		t.Fatal("Ts should have no imbalance factor")
+	}
+}

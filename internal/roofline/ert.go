@@ -1,0 +1,120 @@
+package roofline
+
+import (
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/platform"
+)
+
+// ERTResult holds the host characteristics measured by the ERT-style
+// micro-benchmarks (§5.2: "The Empirical Roofline Tool (ERT) automates
+// measuring the target machine characteristics ... by testing a variety
+// of micro-kernels").
+type ERTResult struct {
+	// DRAMGBs is the sustained STREAM-triad bandwidth to main memory.
+	DRAMGBs float64
+	// LLCGBs is the sustained triad bandwidth on a cache-resident
+	// working set.
+	LLCGBs float64
+	// PeakGFLOPS is the sustained single-precision FMA rate across all
+	// cores (what Go code can actually attain on this host).
+	PeakGFLOPS float64
+}
+
+// triad runs z[i] = x[i] + s*y[i] over all cores `iters` times and
+// returns the aggregate bandwidth in GB/s (3 × 4 bytes moved per
+// element, the STREAM accounting).
+func triad(n, iters int) float64 {
+	x := make([]float32, n)
+	y := make([]float32, n)
+	z := make([]float32, n)
+	for i := range x {
+		x[i] = float32(i%7) + 1
+		y[i] = float32(i%5) + 1
+	}
+	const s = float32(1.5)
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		parallel.For(n, parallel.Options{Schedule: parallel.Static}, func(lo, hi, _ int) {
+			xs, ys, zs := x[lo:hi], y[lo:hi], z[lo:hi]
+			for i := range zs {
+				zs[i] = xs[i] + s*ys[i]
+			}
+		})
+	}
+	el := time.Since(start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	bytes := float64(iters) * float64(n) * 12
+	return bytes / el / 1e9
+}
+
+// flopKernel runs an unrolled multiply-add chain with 8 independent
+// accumulators per worker and returns aggregate GFLOPS.
+func flopKernel(perWorkerIters int) float64 {
+	threads := parallel.NumThreads()
+	sink := make([]float32, threads*16) // padded to avoid false sharing
+	start := time.Now()
+	parallel.For(threads, parallel.Options{Schedule: parallel.Static, Threads: threads}, func(lo, hi, w int) {
+		a0, a1, a2, a3 := float32(1.0), float32(1.1), float32(1.2), float32(1.3)
+		a4, a5, a6, a7 := float32(1.4), float32(1.5), float32(1.6), float32(1.7)
+		const c0, c1 = float32(1.0000001), float32(0.0000001)
+		for i := 0; i < perWorkerIters; i++ {
+			a0 = a0*c0 + c1
+			a1 = a1*c0 + c1
+			a2 = a2*c0 + c1
+			a3 = a3*c0 + c1
+			a4 = a4*c0 + c1
+			a5 = a5*c0 + c1
+			a6 = a6*c0 + c1
+			a7 = a7*c0 + c1
+		}
+		sink[w*16] = a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7
+	})
+	el := time.Since(start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	flops := float64(threads) * float64(perWorkerIters) * 16 // 8 FMAs = 16 flops
+	_ = sink
+	return flops / el / 1e9
+}
+
+// RunERT measures the host. quick selects a reduced problem size for use
+// in tests; the full setting takes a few seconds, like the real ERT.
+func RunERT(quick bool) ERTResult {
+	dramN, llcN, iters, flopIters := 1<<26, 1<<16, 3, 1<<26
+	if quick {
+		dramN, llcN, iters, flopIters = 1<<22, 1<<14, 2, 1<<22
+	}
+	var r ERTResult
+	// Warm-up then measure; keep the best of two runs (ERT reports max).
+	for i := 0; i < 2; i++ {
+		if b := triad(dramN, iters); b > r.DRAMGBs {
+			r.DRAMGBs = b
+		}
+		if b := triad(llcN, iters*64); b > r.LLCGBs {
+			r.LLCGBs = b
+		}
+		if f := flopKernel(flopIters); f > r.PeakGFLOPS {
+			r.PeakGFLOPS = f
+		}
+	}
+	return r
+}
+
+// MeasureHost returns the host platform with its bandwidth and peak
+// fields replaced by ERT measurements.
+func MeasureHost(quick bool) platform.Platform {
+	h := platform.Host()
+	r := RunERT(quick)
+	h.PeakSPGFLOPS = r.PeakGFLOPS
+	h.ERTDRAMGBs = r.DRAMGBs
+	h.ERTLLCGBs = r.LLCGBs
+	if h.MemBWGBs < r.DRAMGBs {
+		h.MemBWGBs = r.DRAMGBs * 1.25 // theoretical ≈ obtainable / 0.8
+	}
+	return h
+}

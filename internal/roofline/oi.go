@@ -1,0 +1,163 @@
+// Package roofline implements the paper's performance-analysis layer: the
+// Table 1 work/memory-traffic/operational-intensity formulas for the five
+// kernels, the Roofline model of Figure 3, and ERT-style micro-benchmarks
+// (STREAM-like bandwidth, peak-FLOPS loops) to calibrate the host
+// platform, mirroring the Empirical Roofline Tool the paper uses.
+package roofline
+
+import "fmt"
+
+// Kernel identifies one of the five benchmark kernels.
+type Kernel int
+
+const (
+	// Tew is the element-wise kernel.
+	Tew Kernel = iota
+	// Ts is the tensor-scalar kernel.
+	Ts
+	// Ttv is tensor-times-vector.
+	Ttv
+	// Ttm is tensor-times-matrix.
+	Ttm
+	// Mttkrp is the matricized tensor times Khatri-Rao product.
+	Mttkrp
+)
+
+// Kernels lists all five in Table 1 order.
+var Kernels = []Kernel{Tew, Ts, Ttv, Ttm, Mttkrp}
+
+func (k Kernel) String() string {
+	switch k {
+	case Tew:
+		return "Tew"
+	case Ts:
+		return "Ts"
+	case Ttv:
+		return "Ttv"
+	case Ttm:
+		return "Ttm"
+	case Mttkrp:
+		return "Mttkrp"
+	}
+	return "unknown"
+}
+
+// Format identifies the sparse tensor format of an implementation.
+type Format int
+
+const (
+	// COO is the coordinate format.
+	COO Format = iota
+	// HiCOO is the hierarchical coordinate format.
+	HiCOO
+)
+
+func (f Format) String() string {
+	if f == HiCOO {
+		return "HiCOO"
+	}
+	return "COO"
+}
+
+// Params carries the workload quantities of the Table 1 formulas.
+type Params struct {
+	// Order is the tensor order N.
+	Order int
+	// M is the non-zero count.
+	M int64
+	// MF is the number of mode-n fibers (Ttv/Ttm only).
+	MF int64
+	// Nb is the number of HiCOO blocks (Mttkrp-HiCOO only).
+	Nb int64
+	// R is the factor-matrix column count (Ttm/Mttkrp only).
+	R int64
+	// BlockSize is the HiCOO block size B (Mttkrp-HiCOO only).
+	BlockSize int64
+}
+
+// Work returns the floating-point operation count of one kernel execution
+// (Table 1 "Work" column, generalized to order N: Tew/Ts = M, Ttv = 2M,
+// Ttm = 2MR, Mttkrp = N·M·R which is 3MR for third order).
+func Work(k Kernel, p Params) int64 {
+	switch k {
+	case Tew, Ts:
+		return p.M
+	case Ttv:
+		return 2 * p.M
+	case Ttm:
+		return 2 * p.M * p.R
+	case Mttkrp:
+		return int64(p.Order) * p.M * p.R
+	}
+	panic(fmt.Sprintf("roofline: unknown kernel %d", int(k)))
+}
+
+// Bytes returns the memory traffic of one kernel execution per the
+// Table 1 formulas (generalized from the paper's third-order column to
+// order N; substituting N=3 reproduces the paper's entries exactly). The
+// paper's accounting assumes one cache level just large enough for the
+// algorithms' reuse, so Tew/Ts/Ttv/Ttm traffic is format-independent while
+// Mttkrp benefits from HiCOO's blocked factor-matrix reuse.
+func Bytes(k Kernel, f Format, p Params) int64 {
+	n := int64(p.Order)
+	switch k {
+	case Tew:
+		// Read both operand value arrays, write the output values.
+		return 12 * p.M
+	case Ts:
+		// Read input values, write output values.
+		return 8 * p.M
+	case Ttv:
+		// 4M values + 4M product-mode indices + 4M irregular vector
+		// accesses, plus the output's N-1 index arrays and values.
+		return 12*p.M + 4*n*p.MF
+	case Ttm:
+		// 8M input (values + product-mode indices), 4MR matrix-row reads,
+		// 4·MF·R output values, 4(N-1)·MF output indices.
+		return 8*p.M + 4*p.M*p.R + 4*p.MF*p.R + 4*(n-1)*p.MF
+	case Mttkrp:
+		if f == HiCOO {
+			// 4NR·min(nb·B, M) blocked matrix traffic + (4+N)M values and
+			// 8-bit element indices + (8+4N)nb block pointers and indices.
+			rows := p.Nb * p.BlockSize
+			if p.M < rows {
+				rows = p.M
+			}
+			return 4*n*p.R*rows + (4+n)*p.M + (8+4*n)*p.Nb
+		}
+		// 4NMR matrix traffic + 4(N+1)M indices and values.
+		return 4*n*p.M*p.R + 4*(n+1)*p.M
+	}
+	panic(fmt.Sprintf("roofline: unknown kernel %d", int(k)))
+}
+
+// OI returns the operational intensity (flops per byte) of a kernel
+// execution, the accurate per-tensor ratio the paper marks on its
+// Roofline plots ("The OI value is an accurate #Flops/#Bytes ratio by
+// taking different tensor features into account").
+func OI(k Kernel, f Format, p Params) float64 {
+	b := Bytes(k, f, p)
+	if b == 0 {
+		return 0
+	}
+	return float64(Work(k, p)) / float64(b)
+}
+
+// AsymptoticOI returns the paper's Table 1 "OI" column: the third-order
+// cubical limit with less-significant terms dropped (1/12, 1/8, ~1/6,
+// ~1/2, ~1/4).
+func AsymptoticOI(k Kernel) float64 {
+	switch k {
+	case Tew:
+		return 1.0 / 12
+	case Ts:
+		return 1.0 / 8
+	case Ttv:
+		return 1.0 / 6
+	case Ttm:
+		return 1.0 / 2
+	case Mttkrp:
+		return 1.0 / 4
+	}
+	panic(fmt.Sprintf("roofline: unknown kernel %d", int(k)))
+}

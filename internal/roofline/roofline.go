@@ -1,0 +1,99 @@
+package roofline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+)
+
+// Attainable returns the Roofline-bounded performance in GFLOPS for a
+// computation of the given operational intensity on a platform, using the
+// obtainable (ERT) DRAM bandwidth: min(peak, OI × BW). This is the red
+// "Roofline performance" upper bound of Figures 4-7.
+func Attainable(p *platform.Platform, oi float64) float64 {
+	return math.Min(p.PeakSPGFLOPS, oi*p.ERTDRAMGBs)
+}
+
+// AttainableLLC is the cache-bandwidth roof (the "ERT-LLC" line of
+// Figure 3), relevant when the working set fits in the last-level cache —
+// the mechanism behind the paper's Observation 2 (small tensors exceeding
+// the DRAM Roofline).
+func AttainableLLC(p *platform.Platform, oi float64) float64 {
+	return math.Min(p.PeakSPGFLOPS, oi*p.ERTLLCGBs)
+}
+
+// RidgeOI returns the operational intensity at which a platform turns
+// compute-bound: peak / ERT-DRAM bandwidth.
+func RidgeOI(p *platform.Platform) float64 {
+	if p.ERTDRAMGBs == 0 {
+		return math.Inf(1)
+	}
+	return p.PeakSPGFLOPS / p.ERTDRAMGBs
+}
+
+// Point is one sample of a Roofline curve.
+type Point struct {
+	OI     float64 // flops per byte
+	GFLOPS float64
+}
+
+// Curve samples a Roofline (DRAM and LLC roofs plus the theoretical-peak
+// ceiling) over a log-spaced OI range, producing the series plotted in
+// Figure 3.
+type Curve struct {
+	Platform *platform.Platform
+	DRAM     []Point // ERT-DRAM roof
+	LLC      []Point // ERT-LLC roof
+	Theory   []Point // theoretical DRAM bandwidth roof (dashed reference)
+}
+
+// BuildCurve samples n points between oiMin and oiMax (log spaced).
+func BuildCurve(p *platform.Platform, oiMin, oiMax float64, n int) Curve {
+	if n < 2 {
+		n = 2
+	}
+	c := Curve{Platform: p}
+	lmin, lmax := math.Log10(oiMin), math.Log10(oiMax)
+	for i := 0; i < n; i++ {
+		oi := math.Pow(10, lmin+(lmax-lmin)*float64(i)/float64(n-1))
+		c.DRAM = append(c.DRAM, Point{oi, Attainable(p, oi)})
+		c.LLC = append(c.LLC, Point{oi, AttainableLLC(p, oi)})
+		c.Theory = append(c.Theory, Point{oi, math.Min(p.PeakSPGFLOPS, oi*p.MemBWGBs)})
+	}
+	return c
+}
+
+// KernelMarks returns the Table 1 asymptotic OI of each kernel with its
+// Roofline-bounded performance on the platform — the kernel markers
+// overlaid on Figure 3.
+func KernelMarks(p *platform.Platform) map[string]Point {
+	out := make(map[string]Point, len(Kernels))
+	for _, k := range Kernels {
+		oi := AsymptoticOI(k)
+		out[k.String()] = Point{oi, Attainable(p, oi)}
+	}
+	return out
+}
+
+// Efficiency returns achieved/attainable as a fraction, the "performance
+// efficiency (or bandwidth efficiency)" metric of Observation 1; values
+// above 1 indicate cache-resident working sets (Observation 2).
+func Efficiency(p *platform.Platform, oi, achievedGFLOPS float64) float64 {
+	a := Attainable(p, oi)
+	if a == 0 {
+		return 0
+	}
+	return achievedGFLOPS / a
+}
+
+// FormatCurve renders a curve as aligned text columns for the harness.
+func FormatCurve(c Curve) string {
+	s := fmt.Sprintf("# Roofline %s: peak %.0f GFLOPS, ERT-DRAM %.0f GB/s, ERT-LLC %.0f GB/s, ridge OI %.2f\n",
+		c.Platform.Name, c.Platform.PeakSPGFLOPS, c.Platform.ERTDRAMGBs, c.Platform.ERTLLCGBs, RidgeOI(c.Platform))
+	s += fmt.Sprintf("%12s %14s %14s %14s\n", "OI", "ERT-DRAM", "ERT-LLC", "Theory-DRAM")
+	for i := range c.DRAM {
+		s += fmt.Sprintf("%12.4f %14.2f %14.2f %14.2f\n", c.DRAM[i].OI, c.DRAM[i].GFLOPS, c.LLC[i].GFLOPS, c.Theory[i].GFLOPS)
+	}
+	return s
+}

@@ -1,0 +1,146 @@
+package tensor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Binary tensor format ("PSTB"): parsing the FROSTT text format dominates
+// load time for 100M-non-zero tensors, so the suite also supports a flat
+// little-endian binary layout (the same reason ParTI ships a .bin
+// format):
+//
+//	magic "PSTB" | u8 version | u8 order | u32 dims[order] |
+//	u64 nnz | u32 inds[order][nnz] | f32 vals[nnz]
+const (
+	binMagic   = "PSTB"
+	binVersion = 1
+)
+
+// WriteBinary emits the tensor in the PSTB binary format.
+func WriteBinary(w io.Writer, t *COO) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binVersion); err != nil {
+		return err
+	}
+	if t.Order() > 255 {
+		return fmt.Errorf("tensor: order %d exceeds binary format limit", t.Order())
+	}
+	if err := bw.WriteByte(byte(t.Order())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.Dims); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(t.NNZ())); err != nil {
+		return err
+	}
+	for n := range t.Inds {
+		if err := binary.Write(bw, binary.LittleEndian, t.Inds[n]); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.Vals); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the PSTB binary format.
+func ReadBinary(r io.Reader) (*COO, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("tensor: binary header: %v", err)
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("tensor: bad magic %q, want %q", magic, binMagic)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if version != binVersion {
+		return nil, fmt.Errorf("tensor: unsupported binary version %d", version)
+	}
+	orderB, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	order := int(orderB)
+	if order == 0 {
+		return nil, fmt.Errorf("tensor: binary tensor with zero order")
+	}
+	dims := make([]Index, order)
+	if err := binary.Read(br, binary.LittleEndian, dims); err != nil {
+		return nil, err
+	}
+	for n, d := range dims {
+		if d == 0 {
+			return nil, fmt.Errorf("tensor: binary mode %d has zero size", n)
+		}
+	}
+	var nnz uint64
+	if err := binary.Read(br, binary.LittleEndian, &nnz); err != nil {
+		return nil, err
+	}
+	const maxNNZ = 1 << 33
+	if nnz > maxNNZ {
+		return nil, fmt.Errorf("tensor: binary nnz %d exceeds sanity limit", nnz)
+	}
+	t := &COO{
+		Dims: dims,
+		Inds: make([][]Index, order),
+		Vals: make([]Value, nnz),
+	}
+	for n := 0; n < order; n++ {
+		t.Inds[n] = make([]Index, nnz)
+		if err := binary.Read(br, binary.LittleEndian, t.Inds[n]); err != nil {
+			return nil, fmt.Errorf("tensor: binary mode-%d indices: %v", n, err)
+		}
+	}
+	if err := binary.Read(br, binary.LittleEndian, t.Vals); err != nil {
+		return nil, fmt.Errorf("tensor: binary values: %v", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("tensor: binary content invalid: %v", err)
+	}
+	return t, nil
+}
+
+// ReadFile loads a tensor by extension: ".bten" (PSTB binary), ".tns",
+// or ".tns.gz" (FROSTT text, optionally gzipped).
+func ReadFile(path string) (*COO, error) {
+	if strings.HasSuffix(path, ".bten") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ReadBinary(f)
+	}
+	return ReadTNSFile(path)
+}
+
+// WriteFile stores a tensor by extension, mirroring ReadFile.
+func WriteFile(path string, t *COO) error {
+	if strings.HasSuffix(path, ".bten") {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := WriteBinary(f, t); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return WriteTNSFile(path, t)
+}

@@ -1,0 +1,87 @@
+package tensor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTNS exercises the FROSTT parser against arbitrary inputs: it
+// must never panic, and any tensor it accepts must be structurally valid
+// and round-trip through the writer.
+func FuzzReadTNS(f *testing.F) {
+	f.Add("1 1 1 1.0\n")
+	f.Add("# comment\n2 3 4 -1.5\n1 1 1 0.25\n")
+	f.Add("")
+	f.Add("0 0 0 0\n")
+	f.Add("1 2 3\n")
+	f.Add("1 1 1 nan\n")
+	f.Add("4294967295 1 1 1\n")
+	f.Add("1 1 1 1\n1 1 2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		x, err := ReadTNS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := x.Validate(); verr != nil {
+			// NaN/Inf values are representable in .tns input but rejected
+			// by Validate; that combination is acceptable. Structural
+			// breakage is not.
+			if !strings.Contains(verr.Error(), "non-finite") {
+				t.Fatalf("parser accepted structurally invalid tensor: %v", verr)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTNS(&buf, x); err != nil {
+			t.Fatalf("writer failed on parsed tensor: %v", err)
+		}
+		y, err := ReadTNS(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if y.NNZ() != x.NNZ() || y.Order() != x.Order() {
+			t.Fatalf("roundtrip changed shape: %d/%d -> %d/%d", x.Order(), x.NNZ(), y.Order(), y.NNZ())
+		}
+	})
+}
+
+// FuzzDedupSort checks that arbitrary coordinate streams survive
+// Dedup/Sort with invariants intact.
+func FuzzDedupSort(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, uint8(2))
+	f.Add([]byte{255, 255, 0, 0}, uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, orderRaw uint8) {
+		order := int(orderRaw)%4 + 1
+		dims := make([]Index, order)
+		for n := range dims {
+			dims[n] = 16
+		}
+		x := NewCOO(dims, len(raw)/order)
+		idx := make([]Index, order)
+		for i := 0; i+order <= len(raw); i += order {
+			for n := 0; n < order; n++ {
+				idx[n] = Index(raw[i+n]) % 16
+			}
+			x.Append(idx, Value(i+1))
+		}
+		before := x.ToMap()
+		x.Dedup()
+		if err := x.Validate(); err != nil {
+			t.Fatalf("Dedup broke invariants: %v", err)
+		}
+		after := x.ToMap()
+		if len(after) != x.NNZ() {
+			t.Fatal("duplicates survived Dedup")
+		}
+		for k, v := range before {
+			if after[k] != v {
+				t.Fatal("Dedup changed summed content")
+			}
+		}
+		for mode := 0; mode < order; mode++ {
+			x.SortForMode(mode)
+			x.FiberPointers(mode) // must not panic
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package tensor
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadTNS parses the FROSTT ".tns" text format: one non-zero per line as
+// whitespace-separated 1-based coordinates followed by the value. Lines
+// that are empty or start with '#' are skipped. Mode sizes are inferred
+// as the maximum coordinate per mode unless every line agrees on a
+// declared size (FROSTT files carry no header).
+func ReadTNS(r io.Reader) (*COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var (
+		order int
+		inds  [][]Index
+		vals  []Value
+		dims  []Index
+		line  int
+	)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if order == 0 {
+			order = len(fields) - 1
+			if order < 1 {
+				return nil, fmt.Errorf("tns: line %d: need at least one coordinate and a value", line)
+			}
+			inds = make([][]Index, order)
+			dims = make([]Index, order)
+		}
+		if len(fields) != order+1 {
+			return nil, fmt.Errorf("tns: line %d: %d fields, want %d", line, len(fields), order+1)
+		}
+		for n := 0; n < order; n++ {
+			u, err := strconv.ParseUint(fields[n], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("tns: line %d: bad coordinate %q: %v", line, fields[n], err)
+			}
+			if u == 0 {
+				return nil, fmt.Errorf("tns: line %d: coordinates are 1-based, got 0", line)
+			}
+			i := Index(u - 1)
+			inds[n] = append(inds[n], i)
+			if i+1 > dims[n] {
+				dims[n] = i + 1
+			}
+		}
+		v, err := strconv.ParseFloat(fields[order], 32)
+		if err != nil {
+			return nil, fmt.Errorf("tns: line %d: bad value %q: %v", line, fields[order], err)
+		}
+		vals = append(vals, Value(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tns: %v", err)
+	}
+	if order == 0 {
+		return nil, fmt.Errorf("tns: empty input")
+	}
+	return &COO{Dims: dims, Inds: inds, Vals: vals}, nil
+}
+
+// ReadTNSFile reads a .tns file from disk; files ending in ".gz" (the
+// form FROSTT distributes) are decompressed transparently.
+func ReadTNSFile(path string) (*COO, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("tns: %s: %v", path, err)
+		}
+		defer gz.Close()
+		return ReadTNS(gz)
+	}
+	return ReadTNS(f)
+}
+
+// WriteTNS emits the tensor in FROSTT .tns text format with 1-based
+// coordinates.
+func WriteTNS(w io.Writer, t *COO) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	m := t.NNZ()
+	for x := 0; x < m; x++ {
+		for n := 0; n < t.Order(); n++ {
+			if _, err := fmt.Fprintf(bw, "%d ", t.Inds[n][x]+1); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "%g\n", t.Vals[x]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTNSFile writes a .tns file to disk, gzip-compressed when the path
+// ends in ".gz".
+func WriteTNSFile(path string, t *COO) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		if err := WriteTNS(gz, t); err != nil {
+			gz.Close()
+			f.Close()
+			return err
+		}
+		if err := gz.Close(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := WriteTNS(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

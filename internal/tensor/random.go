@@ -1,0 +1,39 @@
+package tensor
+
+import "math/rand"
+
+// RandomCOO generates a sparse tensor with approximately nnz uniformly
+// distributed non-zeros (duplicates are coalesced, so the result may hold
+// slightly fewer) and values uniform in (0, 1]. It is used by tests and by
+// the dataset stand-ins for tensors with near-uniform non-zero patterns.
+func RandomCOO(dims []Index, nnz int, rng *rand.Rand) *COO {
+	t := NewCOO(dims, nnz)
+	idx := make([]Index, len(dims))
+	for m := 0; m < nnz; m++ {
+		for n, d := range dims {
+			idx[n] = Index(rng.Intn(int(d)))
+		}
+		// Values in (0,1] so stored entries are never exact zeros.
+		t.Append(idx, Value(1-rng.Float64()))
+	}
+	t.Dedup()
+	return t
+}
+
+// RandomCOOSkewed generates a sparse tensor whose mode-0 index follows a
+// Zipf-like distribution (exponent ~1.1), producing the fiber-length and
+// output-row skew typical of the paper's graph-derived real tensors.
+func RandomCOOSkewed(dims []Index, nnz int, rng *rand.Rand) *COO {
+	t := NewCOO(dims, nnz)
+	idx := make([]Index, len(dims))
+	zipf := rand.NewZipf(rng, 1.1, 1, uint64(dims[0]-1))
+	for m := 0; m < nnz; m++ {
+		idx[0] = Index(zipf.Uint64())
+		for n := 1; n < len(dims); n++ {
+			idx[n] = Index(rng.Intn(int(dims[n])))
+		}
+		t.Append(idx, Value(1-rng.Float64()))
+	}
+	t.Dedup()
+	return t
+}

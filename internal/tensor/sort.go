@@ -1,0 +1,197 @@
+package tensor
+
+import "repro/internal/parallel"
+
+// ModeOrder returns the canonical mode permutation that places mode n last
+// and keeps the remaining modes in ascending order. Sorting a tensor with
+// this permutation makes the mode-n fibers contiguous, which is the
+// pre-processing step of the Ttv and Ttm kernels (Algorithm 1).
+func ModeOrder(order, n int) []int {
+	perm := make([]int, 0, order)
+	for m := 0; m < order; m++ {
+		if m != n {
+			perm = append(perm, m)
+		}
+	}
+	return append(perm, n)
+}
+
+// Sort orders the non-zeros lexicographically by the given mode
+// permutation (outermost mode first). It panics if perm is not a
+// permutation of the modes.
+func (t *COO) Sort(perm []int) {
+	if !validPerm(perm, t.Order()) {
+		panic("tensor: Sort with invalid mode permutation")
+	}
+	if t.isSorted(perm) {
+		t.sortOrder = append(t.sortOrder[:0], perm...)
+		return
+	}
+	idx := make([]int32, t.NNZ())
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	inds := t.Inds
+	parallel.SortInt32s(idx, func(x, y int32) bool {
+		for _, n := range perm {
+			ia, ib := inds[n][x], inds[n][y]
+			if ia != ib {
+				return ia < ib
+			}
+		}
+		return false
+	})
+	t.applyPerm(idx)
+	t.sortOrder = append([]int(nil), perm...)
+}
+
+// SortForMode sorts so that mode-n fibers are contiguous, i.e. by
+// ModeOrder(order, n).
+func (t *COO) SortForMode(n int) { t.Sort(ModeOrder(t.Order(), n)) }
+
+// SortNatural sorts by mode 0, 1, ..., N-1, the natural order in which
+// FROSTT files are usually stored.
+func (t *COO) SortNatural() {
+	perm := make([]int, t.Order())
+	for i := range perm {
+		perm[i] = i
+	}
+	t.Sort(perm)
+}
+
+// SortOrder returns the mode permutation of the last sort (outermost
+// first), or nil if the ordering is unknown. The returned slice must not
+// be modified.
+func (t *COO) SortOrder() []int { return t.sortOrder }
+
+// IsSortedBy reports whether the tensor is known to be sorted by perm.
+func (t *COO) IsSortedBy(perm []int) bool {
+	if len(t.sortOrder) != len(perm) {
+		return false
+	}
+	for i := range perm {
+		if t.sortOrder[i] != perm[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func validPerm(perm []int, order int) bool {
+	if len(perm) != order {
+		return false
+	}
+	seen := make([]bool, order)
+	for _, n := range perm {
+		if n < 0 || n >= order || seen[n] {
+			return false
+		}
+		seen[n] = true
+	}
+	return true
+}
+
+// isSorted verifies the actual data ordering (used to skip re-sorting
+// already-ordered inputs, which FROSTT files typically are).
+func (t *COO) isSorted(perm []int) bool {
+	m := t.NNZ()
+	for x := 1; x < m; x++ {
+		for _, n := range perm {
+			a, b := t.Inds[n][x-1], t.Inds[n][x]
+			if a < b {
+				break
+			}
+			if a > b {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// applyPerm reorders every parallel array by the given index permutation.
+func (t *COO) applyPerm(idx []int32) {
+	for n := range t.Inds {
+		src := t.Inds[n]
+		dst := make([]Index, len(src))
+		for i, x := range idx {
+			dst[i] = src[x]
+		}
+		t.Inds[n] = dst
+	}
+	vsrc := t.Vals
+	vdst := make([]Value, len(vsrc))
+	for i, x := range idx {
+		vdst[i] = vsrc[x]
+	}
+	t.Vals = vdst
+}
+
+// Dedup coalesces duplicate coordinates by summing their values. The
+// tensor is left sorted in natural order. Generators use this to realize
+// Bernoulli-sampled tensors where the same coordinate may be drawn twice.
+func (t *COO) Dedup() {
+	if t.NNZ() == 0 {
+		return
+	}
+	t.SortNatural()
+	w := 0
+	m := t.NNZ()
+	for x := 1; x < m; x++ {
+		if t.sameCoord(w, x) {
+			t.Vals[w] += t.Vals[x]
+			continue
+		}
+		w++
+		if w != x {
+			for n := range t.Inds {
+				t.Inds[n][w] = t.Inds[n][x]
+			}
+			t.Vals[w] = t.Vals[x]
+		}
+	}
+	for n := range t.Inds {
+		t.Inds[n] = t.Inds[n][:w+1]
+	}
+	t.Vals = t.Vals[:w+1]
+}
+
+func (t *COO) sameCoord(a, b int) bool {
+	for n := range t.Inds {
+		if t.Inds[n][a] != t.Inds[n][b] {
+			return false
+		}
+	}
+	return true
+}
+
+// FiberPointers returns the start offsets of the mode-n fibers of a tensor
+// sorted with SortForMode(n): fptr has one entry per fiber plus a final
+// sentinel equal to NNZ. A mode-n fiber is a maximal run of non-zeros that
+// agree on every coordinate except mode n. It panics if the tensor is not
+// sorted for mode n.
+func (t *COO) FiberPointers(n int) []int64 {
+	if !t.IsSortedBy(ModeOrder(t.Order(), n)) {
+		panic("tensor: FiberPointers requires SortForMode(n) first")
+	}
+	m := t.NNZ()
+	fptr := make([]int64, 0, 16)
+	for x := 0; x < m; x++ {
+		if x == 0 || !t.sameFiber(x-1, x, n) {
+			fptr = append(fptr, int64(x))
+		}
+	}
+	return append(fptr, int64(m))
+}
+
+func (t *COO) sameFiber(a, b, skip int) bool {
+	for n := range t.Inds {
+		if n == skip {
+			continue
+		}
+		if t.Inds[n][a] != t.Inds[n][b] {
+			return false
+		}
+	}
+	return true
+}
