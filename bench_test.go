@@ -410,15 +410,23 @@ func BenchmarkAblationMttkrpStrategy(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	atomicOpt := opt
+	atomicOpt.Strategy = pasta.StrategyAtomic
 	b.Run("coo-atomic", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_, _ = p.ExecuteOMP(mats, opt)
+			_, _ = p.ExecuteOMP(mats, atomicOpt)
 		}
 	})
 	b.Run("coo-privatized", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_, _ = p.ExecuteOMPPrivatized(mats, opt)
 		}
+	})
+	b.Run("coo-adaptive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = p.ExecuteOMP(mats, opt)
+		}
+		b.ReportMetric(float64(p.LastStrategy), "strategy")
 	})
 	h := hicoo.FromCOO(x, hicoo.DefaultBlockBits)
 	hp, err := pasta.PrepareMttkrpHiCOO(h, 0, r)

@@ -74,16 +74,26 @@ func runAblations(o options) {
 		gflops := float64(p.FlopCount()) / el / 1e9
 		fmt.Printf("  %-28s %10.4fms %10.3f GFLOPS\n", name, el*1e3, gflops)
 	}
+	atomicOpt := cfg.Sched
+	atomicOpt.Strategy = parallel.Atomic
+	privOpt := cfg.Sched
+	privOpt.Strategy = parallel.Privatized
 	timeIt("sequential", func() { _, _ = p.ExecuteSeq(mats) })
-	timeIt("nnz-parallel + atomics", func() { _, _ = p.ExecuteOMP(mats, cfg.Sched) })
-	timeIt("nnz-parallel + privatization", func() { _, _ = p.ExecuteOMPPrivatized(mats, cfg.Sched) })
+	timeIt("nnz-parallel + atomics", func() { _, _ = p.ExecuteOMP(mats, atomicOpt) })
+	timeIt("nnz-parallel + privatization", func() { _, _ = p.ExecuteOMP(mats, privOpt) })
+	// The zero-value (Auto) strategy lets the runtime's selector pick;
+	// report what it resolved to for this shape and thread count.
+	_, _ = p.ExecuteOMP(mats, cfg.Sched)
+	timeIt(fmt.Sprintf("adaptive (chose %s)", p.LastStrategy), func() { _, _ = p.ExecuteOMP(mats, cfg.Sched) })
 	h := hicoo.FromCOO(x, cfg.BlockBits)
 	hp, err := core.PrepareMttkrpHiCOO(h, 0, cfg.R)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	timeIt("block-parallel HiCOO+atomics", func() { _, _ = hp.ExecuteOMP(mats, cfg.Sched) })
+	timeIt("block-parallel HiCOO+atomics", func() { _, _ = hp.ExecuteOMP(mats, atomicOpt) })
+	_, _ = hp.ExecuteOMP(mats, cfg.Sched)
+	timeIt(fmt.Sprintf("block-parallel HiCOO adaptive (chose %s)", hp.LastStrategy), func() { _, _ = hp.ExecuteOMP(mats, cfg.Sched) })
 
 	// --- Scheduling policy for skewed fibers (host-measured Ttv) -----------
 	fmt.Println("\n(d) OpenMP scheduling policy for Ttv on skewed fibers (host wall-clock):")

@@ -24,7 +24,8 @@ type jsonRow struct {
 	GFLOPS     float64 `json:"gflops"`
 	Roofline   float64 `json:"roofline_gflops"`
 	Efficiency float64 `json:"efficiency"`
-	Source     string  `json:"source"` // "modeled" | "measured"
+	Source     string  `json:"source"`             // "modeled" | "measured"
+	Strategy   string  `json:"strategy,omitempty"` // reduction strategy of measured reduction kernels
 }
 
 // jsonFigure is the -json document for one figure.
@@ -181,6 +182,7 @@ func runFigure(o options, fig, platName string) {
 			fmt.Println()
 			if host != nil {
 				fmt.Printf("%-5s %-9s", "", "(host)")
+				var strategies []string
 				for _, k := range roofline.Kernels {
 					mc, errC := metrics.MeasureHost(host, x, k, roofline.COO, cfg)
 					mh, errH := metrics.MeasureHost(host, x, k, roofline.HiCOO, cfg)
@@ -189,8 +191,24 @@ func runFigure(o options, fig, platName string) {
 						continue
 					}
 					fmt.Printf(" |%10.2f %10.2f", mc.GFLOPS, mh.GFLOPS)
+					dsName := "real"
+					if e.ID[0] == 's' {
+						dsName = "synthetic"
+					}
+					for _, r := range []metrics.Result{mc, mh} {
+						doc.Rows = append(doc.Rows, jsonRow{
+							Tensor: e.ID, Name: e.Name, Dataset: dsName,
+							Kernel: k.String(), Format: r.Format.String(),
+							GFLOPS: r.GFLOPS, Roofline: r.Roofline,
+							Efficiency: r.Efficiency, Source: r.Source.String(),
+							Strategy: r.Strategy,
+						})
+					}
+					if mc.Strategy != "" {
+						strategies = append(strategies, fmt.Sprintf("%s:%s/%s", k, mc.Strategy, mh.Strategy))
+					}
 				}
-				fmt.Println(" | measured")
+				fmt.Printf(" | measured %v\n", strategies)
 			}
 		}
 	}

@@ -21,6 +21,9 @@ type MttkrpPlan struct {
 	R int
 	// Out is the dense output matrix, zeroed at the start of each Execute.
 	Out *tensor.Matrix
+	// LastStrategy records the reduction strategy the most recent
+	// ExecuteOMP* call resolved to (for harness reporting).
+	LastStrategy parallel.Strategy
 }
 
 // PrepareMttkrp validates the mode and allocates the output matrix.
@@ -70,53 +73,40 @@ func (p *MttkrpPlan) ExecuteSeq(mats []*tensor.Matrix) (*tensor.Matrix, error) {
 	return p.Out, nil
 }
 
-// ExecuteOMP runs COO-Mttkrp-OMP: parallelized by non-zeros with "omp
-// atomic" protecting the shared output matrix, so performance depends on
-// the non-zero distribution (data races on popular output rows).
+// ExecuteOMP runs COO-Mttkrp-OMP: parallelized by non-zeros with the
+// shared output matrix protected per Options.Strategy — "omp atomic"
+// updates, or the privatization the paper's Observation 5 points to
+// ([42]): each worker accumulates into a pooled private copy of Ã and
+// the copies are reduced afterwards, trading memory (T×I_n×R) for
+// atomic-free updates. Auto picks per call from the output-size×threads
+// vs NNZ shape.
 func (p *MttkrpPlan) ExecuteOMP(mats []*tensor.Matrix, opt parallel.Options) (*tensor.Matrix, error) {
 	if err := p.checkMats(mats); err != nil {
 		return nil, err
 	}
+	m := p.X.NNZ()
+	st, threads := planReduction(opt, m, len(p.Out.Data), m*p.R, 0)
+	p.LastStrategy = st
+	opt.Threads = threads
+	if st == parallel.Privatized {
+		privatizedReduce(m, threads, opt, p.Out.Data, func(lo, hi int, priv []tensor.Value) {
+			p.executeRange(lo, hi, mats, priv, false)
+		})
+		return p.Out, nil
+	}
 	p.Out.Zero()
-	parallel.For(p.X.NNZ(), opt, func(lo, hi, _ int) {
-		p.executeRange(lo, hi, mats, p.Out.Data, true)
+	atomicUpd := threads > 1
+	parallel.For(m, opt, func(lo, hi, _ int) {
+		p.executeRange(lo, hi, mats, p.Out.Data, atomicUpd)
 	})
 	return p.Out, nil
 }
 
-// ExecuteOMPPrivatized is the lock-avoiding extension the paper's
-// Observation 5 points to ([42]'s privatization): each worker accumulates
-// into a private copy of Ã and the copies are reduced afterwards. It
-// trades memory (T×I_n×R) for atomic-free updates.
+// ExecuteOMPPrivatized forces the privatized strategy regardless of the
+// adaptive selector (the explicit form benchmarks compare against).
 func (p *MttkrpPlan) ExecuteOMPPrivatized(mats []*tensor.Matrix, opt parallel.Options) (*tensor.Matrix, error) {
-	if err := p.checkMats(mats); err != nil {
-		return nil, err
-	}
-	threads := opt.Threads
-	if threads <= 0 {
-		threads = parallel.NumThreads()
-	}
-	priv := make([]*tensor.Matrix, threads)
-	for w := range priv {
-		priv[w] = tensor.NewMatrix(p.Out.Rows, p.Out.Cols)
-	}
-	parallel.For(p.X.NNZ(), opt, func(lo, hi, w int) {
-		p.executeRange(lo, hi, mats, priv[w].Data, false)
-	})
-	p.Out.Zero()
-	// Reduce the private copies in parallel over output rows.
-	parallel.For(p.Out.Rows, parallel.Options{Schedule: parallel.Static}, func(lo, hi, _ int) {
-		for i := lo; i < hi; i++ {
-			dst := p.Out.Row(i)
-			for w := range priv {
-				src := priv[w].Row(i)
-				for c := range dst {
-					dst[c] += src[c]
-				}
-			}
-		}
-	})
-	return p.Out, nil
+	opt.Strategy = parallel.Privatized
+	return p.ExecuteOMP(mats, opt)
 }
 
 // ExecuteGPU runs COO-Mttkrp-GPU following ParTI: a 1-D grid of 2-D thread

@@ -26,6 +26,9 @@ type MttkrpHiCOOPlan struct {
 	R int
 	// Out is the dense output matrix, zeroed at the start of each Execute.
 	Out *tensor.Matrix
+	// LastStrategy records the reduction strategy the most recent
+	// ExecuteOMP call resolved to (for harness reporting).
+	LastStrategy parallel.Strategy
 }
 
 // PrepareMttkrpHiCOO validates the mode and allocates the output matrix.
@@ -66,21 +69,34 @@ func (p *MttkrpHiCOOPlan) ExecuteSeq(mats []*tensor.Matrix) (*tensor.Matrix, err
 		return nil, err
 	}
 	p.Out.Zero()
-	p.executeBlocks(0, p.X.NumBlocks(), mats, false)
+	p.executeBlocks(0, p.X.NumBlocks(), mats, p.Out.Data, false)
 	return p.Out, nil
 }
 
 // ExecuteOMP runs HiCOO-Mttkrp-OMP: "parfor b = 1..nb" over tensor blocks
-// (Algorithm 2). Distinct blocks may share output rows, so the update is
-// atomic; the reference implementation deliberately skips the lock-
-// avoiding scheduling of the HiCOO paper (§3.4).
+// (Algorithm 2). Distinct blocks may share output rows, so the shared
+// output needs protection: atomic updates, or pooled per-worker private
+// copies merged after the loop (Options.Strategy; Auto adapts per call).
+// The reference implementation deliberately skips the lock-avoiding
+// scheduling of the HiCOO paper (§3.4).
 func (p *MttkrpHiCOOPlan) ExecuteOMP(mats []*tensor.Matrix, opt parallel.Options) (*tensor.Matrix, error) {
 	if err := p.checkMats(mats); err != nil {
 		return nil, err
 	}
+	nb := p.X.NumBlocks()
+	st, threads := planReduction(opt, nb, len(p.Out.Data), p.X.NNZ()*p.R, 0)
+	p.LastStrategy = st
+	opt.Threads = threads
+	if st == parallel.Privatized {
+		privatizedReduce(nb, threads, opt, p.Out.Data, func(lo, hi int, priv []tensor.Value) {
+			p.executeBlocks(lo, hi, mats, priv, false)
+		})
+		return p.Out, nil
+	}
 	p.Out.Zero()
-	parallel.For(p.X.NumBlocks(), opt, func(lo, hi, _ int) {
-		p.executeBlocks(lo, hi, mats, true)
+	atomicUpd := threads > 1
+	parallel.For(nb, opt, func(lo, hi, _ int) {
+		p.executeBlocks(lo, hi, mats, p.Out.Data, atomicUpd)
 	})
 	return p.Out, nil
 }
@@ -133,12 +149,13 @@ func (p *MttkrpHiCOOPlan) ExecuteGPU(dev *gpusim.Device, mats []*tensor.Matrix) 
 }
 
 // executeBlocks processes tensor blocks [lo, hi) following Algorithm 2:
-// per-block factor bases, 8-bit element indexing, R-wide inner loop.
-func (p *MttkrpHiCOOPlan) executeBlocks(lo, hi int, mats []*tensor.Matrix, atomicUpd bool) {
+// per-block factor bases, 8-bit element indexing, R-wide inner loop,
+// adding into out (the shared output or a worker's private copy) either
+// plainly or atomically.
+func (p *MttkrpHiCOOPlan) executeBlocks(lo, hi int, mats []*tensor.Matrix, out []tensor.Value, atomicUpd bool) {
 	h := p.X
 	r := p.R
 	bits := h.BlockBits
-	out := p.Out.Data
 	xv := h.Vals
 	mode := p.Mode
 

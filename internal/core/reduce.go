@@ -1,0 +1,70 @@
+package core
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// reduce.go is the shared reduction runtime of the OMP kernels: every
+// Execute with a shared output (Mttkrp, and the racy nnz/input-parallel
+// decompositions of Ttv and Ttm) resolves its worker count once, asks the
+// strategy selector whether to run owner-computes, atomic, or privatized,
+// and draws privatization scratch from the pooled workspace instead of
+// allocating per call.
+
+// planReduction resolves the worker count for a loop of loopN iterations
+// and the update strategy for the given reduction shape. The returned
+// thread count MUST be passed back to every parallel.For of the
+// invocation via Options.Threads: it is the single NumThreads read of the
+// call, so per-worker state stays consistent under SetNumThreads churn.
+func planReduction(opt parallel.Options, loopN, outElems, updates, ownerUnits int) (parallel.Strategy, int) {
+	threads := parallel.ResolveThreads(loopN, opt)
+	st := parallel.Choose(opt.Strategy, parallel.ReductionShape{
+		OutElems:   outElems,
+		Updates:    updates,
+		OwnerUnits: ownerUnits,
+		Threads:    threads,
+	})
+	return st, threads
+}
+
+// privatizedReduce runs body over [0, n) with each worker accumulating
+// into a pooled private copy of out, then merges the copies into out in
+// parallel. The privates arrive zeroed and go back to the shared
+// workspace afterwards, so steady-state calls allocate no scratch.
+func privatizedReduce(n, threads int, opt parallel.Options, out []tensor.Value, body func(lo, hi int, priv []tensor.Value)) {
+	ws := parallel.SharedWorkspace()
+	set := ws.Set(threads, len(out))
+	opt.Threads = threads
+	parallel.For(n, opt, func(lo, hi, w int) {
+		body(lo, hi, set.Bufs[w])
+	})
+	mergePrivates(out, set.Bufs, threads)
+	ws.PutSet(set)
+}
+
+// mergePrivates overwrites out with the element-wise sum of the private
+// copies, parallelized over the output.
+func mergePrivates(out []tensor.Value, privs [][]float32, threads int) {
+	parallel.For(len(out), parallel.Options{Schedule: parallel.Static, Threads: threads}, func(lo, hi, _ int) {
+		copy(out[lo:hi], privs[0][lo:hi])
+		for _, p := range privs[1:] {
+			src := p[lo:hi]
+			dst := out[lo:hi]
+			for i := range dst {
+				dst[i] += src[i]
+			}
+		}
+	})
+}
+
+// zeroValues zeroes out in parallel (the atomic strategy's preamble for
+// scatter-accumulated outputs).
+func zeroValues(out []tensor.Value, threads int) {
+	parallel.For(len(out), parallel.Options{Schedule: parallel.Static, Threads: threads}, func(lo, hi, _ int) {
+		dst := out[lo:hi]
+		for i := range dst {
+			dst[i] = 0
+		}
+	})
+}

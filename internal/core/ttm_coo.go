@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/gpusim"
 	"repro/internal/parallel"
@@ -24,6 +25,9 @@ type TtmPlan struct {
 	Fptr []int64
 	// Out is the preallocated sCOO output with Mode dense of size R.
 	Out *tensor.SemiCOO
+	// LastStrategy records the reduction strategy the most recent
+	// ExecuteOMP call resolved to (for harness reporting).
+	LastStrategy parallel.Strategy
 }
 
 // PrepareTtm performs the preprocessing stage of Ttm in mode n with R
@@ -74,16 +78,97 @@ func (p *TtmPlan) ExecuteSeq(u *tensor.Matrix) (*tensor.SemiCOO, error) {
 	return p.Out, nil
 }
 
-// ExecuteOMP parallelizes over independent fibers, with the innermost
-// column loop playing the role of the paper's "omp simd" vectorization.
+// ExecuteOMP runs the value computation with the strategy-selected
+// decomposition: owner-computes over independent fibers (with the
+// innermost column loop playing the role of the paper's "omp simd"
+// vectorization), or balanced over non-zeros with the per-fiber R-row
+// reduction protected by atomics or pooled per-worker private outputs.
 func (p *TtmPlan) ExecuteOMP(u *tensor.Matrix, opt parallel.Options) (*tensor.SemiCOO, error) {
 	if err := p.checkMat(u); err != nil {
 		return nil, err
 	}
-	parallel.For(p.NumFibers(), opt, func(lo, hi, _ int) {
-		p.executeFibers(lo, hi, u)
-	})
+	m := p.X.NNZ()
+	mf := p.NumFibers()
+	st, threads := planReduction(opt, m, mf*p.R, m*p.R, mf)
+	p.LastStrategy = st
+	switch st {
+	case parallel.Owner:
+		parallel.For(mf, opt, func(lo, hi, _ int) {
+			p.executeFibers(lo, hi, u)
+		})
+	case parallel.Privatized:
+		privatizedReduce(m, threads, opt, p.Out.Vals, func(lo, hi int, priv []tensor.Value) {
+			p.executeNNZ(lo, hi, u, priv, nil)
+		})
+	default: // Atomic
+		zeroValues(p.Out.Vals, threads)
+		opt.Threads = threads
+		if threads > 1 {
+			// Per-worker R-wide segment accumulators from the pool: each
+			// contiguous fiber segment flushes its row once, atomically.
+			ws := parallel.SharedWorkspace()
+			acc := ws.Set(threads, p.R)
+			parallel.For(m, opt, func(lo, hi, w int) {
+				p.executeNNZ(lo, hi, u, p.Out.Vals, acc.Bufs[w])
+			})
+			ws.PutSet(acc)
+		} else {
+			parallel.For(m, opt, func(lo, hi, _ int) {
+				p.executeNNZ(lo, hi, u, p.Out.Vals, nil)
+			})
+		}
+	}
 	return p.Out, nil
+}
+
+// executeNNZ processes non-zeros [lo, hi) of the fiber-sorted tensor as
+// a segmented reduction over the output's R-length fiber rows. With acc
+// nil the contribution adds directly into out (single writer or private
+// copy); otherwise each contiguous fiber segment accumulates into acc
+// and flushes once with atomic adds.
+func (p *TtmPlan) executeNNZ(lo, hi int, u *tensor.Matrix, out []tensor.Value, acc []tensor.Value) {
+	fptr := p.Fptr
+	kInd := p.X.Inds[p.Mode]
+	xv := p.X.Vals
+	r := p.R
+	ud := u.Data
+	f := sort.Search(len(fptr)-1, func(i int) bool { return fptr[i+1] > int64(lo) })
+	for m := lo; m < hi; {
+		for fptr[f+1] <= int64(m) {
+			f++
+		}
+		end := hi
+		if fptr[f+1] < int64(end) {
+			end = int(fptr[f+1])
+		}
+		if acc != nil {
+			for c := range acc {
+				acc[c] = 0
+			}
+			for ; m < end; m++ {
+				v := xv[m]
+				urow := ud[int(kInd[m])*r : int(kInd[m])*r+r]
+				for c, uv := range urow {
+					acc[c] += v * uv
+				}
+			}
+			row := out[f*r : f*r+r]
+			for c, a := range acc {
+				if a != 0 {
+					parallel.AtomicAddFloat32(&row[c], a)
+				}
+			}
+		} else {
+			row := out[f*r : f*r+r]
+			for ; m < end; m++ {
+				v := xv[m]
+				urow := ud[int(kInd[m])*r : int(kInd[m])*r+r]
+				for c, uv := range urow {
+					row[c] += v * uv
+				}
+			}
+		}
+	}
 }
 
 // ExecuteGPU runs the COO-Ttm-GPU kernel following ParTI: a 1-D grid of

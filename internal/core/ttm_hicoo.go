@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/gpusim"
 	"repro/internal/hicoo"
@@ -23,6 +24,9 @@ type TtmHiCOOPlan struct {
 	Fptr []int64
 	// Out is the preallocated sHiCOO output.
 	Out *hicoo.SemiHiCOO
+	// LastStrategy records the reduction strategy the most recent
+	// ExecuteOMP call resolved to (for harness reporting).
+	LastStrategy parallel.Strategy
 }
 
 // PrepareTtmHiCOO converts the tensor to gHiCOO (compressing every mode
@@ -81,15 +85,92 @@ func (p *TtmHiCOOPlan) ExecuteSeq(u *tensor.Matrix) (*hicoo.SemiHiCOO, error) {
 	return p.Out, nil
 }
 
-// ExecuteOMP parallelizes over independent fibers.
+// ExecuteOMP runs the value computation with the strategy-selected
+// decomposition, exactly as the COO Ttm kernel: owner-computes over
+// fibers, or balanced over non-zeros with atomic or pooled-privatized
+// per-fiber reduction.
 func (p *TtmHiCOOPlan) ExecuteOMP(u *tensor.Matrix, opt parallel.Options) (*hicoo.SemiHiCOO, error) {
 	if err := p.checkMat(u); err != nil {
 		return nil, err
 	}
-	parallel.For(p.NumFibers(), opt, func(lo, hi, _ int) {
-		p.executeFibers(lo, hi, u)
-	})
+	m := p.X.NNZ()
+	mf := p.NumFibers()
+	st, threads := planReduction(opt, m, mf*p.R, m*p.R, mf)
+	p.LastStrategy = st
+	switch st {
+	case parallel.Owner:
+		parallel.For(mf, opt, func(lo, hi, _ int) {
+			p.executeFibers(lo, hi, u)
+		})
+	case parallel.Privatized:
+		privatizedReduce(m, threads, opt, p.Out.Vals, func(lo, hi int, priv []tensor.Value) {
+			p.executeNNZ(lo, hi, u, priv, nil)
+		})
+	default: // Atomic
+		zeroValues(p.Out.Vals, threads)
+		opt.Threads = threads
+		if threads > 1 {
+			ws := parallel.SharedWorkspace()
+			acc := ws.Set(threads, p.R)
+			parallel.For(m, opt, func(lo, hi, w int) {
+				p.executeNNZ(lo, hi, u, p.Out.Vals, acc.Bufs[w])
+			})
+			ws.PutSet(acc)
+		} else {
+			parallel.For(m, opt, func(lo, hi, _ int) {
+				p.executeNNZ(lo, hi, u, p.Out.Vals, nil)
+			})
+		}
+	}
 	return p.Out, nil
+}
+
+// executeNNZ is the segmented reduction over non-zeros [lo, hi) (see
+// TtmPlan.executeNNZ): direct adds when acc is nil, per-segment local
+// accumulation with one atomic flush otherwise.
+func (p *TtmHiCOOPlan) executeNNZ(lo, hi int, u *tensor.Matrix, out []tensor.Value, acc []tensor.Value) {
+	fptr := p.Fptr
+	kInd := p.X.UInds[0]
+	xv := p.X.Vals
+	r := p.R
+	ud := u.Data
+	f := sort.Search(len(fptr)-1, func(i int) bool { return fptr[i+1] > int64(lo) })
+	for m := lo; m < hi; {
+		for fptr[f+1] <= int64(m) {
+			f++
+		}
+		end := hi
+		if fptr[f+1] < int64(end) {
+			end = int(fptr[f+1])
+		}
+		if acc != nil {
+			for c := range acc {
+				acc[c] = 0
+			}
+			for ; m < end; m++ {
+				v := xv[m]
+				urow := ud[int(kInd[m])*r : int(kInd[m])*r+r]
+				for c, uv := range urow {
+					acc[c] += v * uv
+				}
+			}
+			row := out[f*r : f*r+r]
+			for c, a := range acc {
+				if a != 0 {
+					parallel.AtomicAddFloat32(&row[c], a)
+				}
+			}
+		} else {
+			row := out[f*r : f*r+r]
+			for ; m < end; m++ {
+				v := xv[m]
+				urow := ud[int(kInd[m])*r : int(kInd[m])*r+r]
+				for c, uv := range urow {
+					row[c] += v * uv
+				}
+			}
+		}
+	}
 }
 
 // ExecuteGPU runs HiCOO-Ttm-GPU with the same geometry as the COO kernel:

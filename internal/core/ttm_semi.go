@@ -23,10 +23,16 @@ type TtmSemiPlan struct {
 	// Out is the preallocated semi-sparse output: X's dense modes plus
 	// Mode (now of size R).
 	Out *tensor.SemiCOO
+	// LastStrategy records the reduction strategy the most recent
+	// ExecuteOMP call resolved to (for harness reporting).
+	LastStrategy parallel.Strategy
 
 	// outFiberInputs groups the input fibers feeding each output fiber
 	// (they differ only in their mode-n coordinate).
 	outFiberInputs [][]int32
+	// ofOf maps each input fiber to the output fiber it feeds (the
+	// inverse of outFiberInputs, for the racy input-parallel strategies).
+	ofOf []int32
 	// kOf is each input fiber's mode-n coordinate.
 	kOf []tensor.Index
 	// baseOff maps an input dense offset to its output dense offset at
@@ -70,6 +76,7 @@ func PrepareTtmSemi(x *tensor.SemiCOO, mode, r int) (*TtmSemiPlan, error) {
 	// Group input fibers by their sparse coordinates excluding mode.
 	nf := x.NumFibers()
 	p.kOf = make([]tensor.Index, nf)
+	p.ofOf = make([]int32, nf)
 	groups := make(map[string]int, nf)
 	key := make([]byte, 4*(len(sparse)-1))
 	outSparseIdx := make([]tensor.Index, len(sparse)-1)
@@ -92,6 +99,7 @@ func PrepareTtmSemi(x *tensor.SemiCOO, mode, r int) (*TtmSemiPlan, error) {
 			p.outFiberInputs = append(p.outFiberInputs, nil)
 		}
 		p.outFiberInputs[of] = append(p.outFiberInputs[of], int32(f))
+		p.ofOf[f] = int32(of)
 	}
 
 	// Dense-layout mapping: decompose each input dense offset over X's
@@ -143,16 +151,69 @@ func (p *TtmSemiPlan) ExecuteSeq(u *tensor.Matrix) (*tensor.SemiCOO, error) {
 	return p.Out, nil
 }
 
-// ExecuteOMP parallelizes over output fibers (input fibers sharing an
-// output fiber are handled by one worker, so no races).
+// ExecuteOMP runs the value computation with the strategy-selected
+// decomposition: owner-computes over output fibers (input fibers sharing
+// an output fiber handled by one worker, so no races), or balanced over
+// input fibers with the shared output protected by atomics or pooled
+// per-worker private copies.
 func (p *TtmSemiPlan) ExecuteOMP(u *tensor.Matrix, opt parallel.Options) (*tensor.SemiCOO, error) {
 	if err := p.checkMat(u); err != nil {
 		return nil, err
 	}
-	parallel.For(len(p.outFiberInputs), opt, func(lo, hi, _ int) {
-		p.executeOutFibers(lo, hi, u)
-	})
+	nf := p.X.NumFibers()
+	nOut := len(p.outFiberInputs)
+	st, threads := planReduction(opt, nf, len(p.Out.Vals), len(p.X.Vals)*p.R, nOut)
+	p.LastStrategy = st
+	switch st {
+	case parallel.Owner:
+		parallel.For(nOut, opt, func(lo, hi, _ int) {
+			p.executeOutFibers(lo, hi, u)
+		})
+	case parallel.Privatized:
+		privatizedReduce(nf, threads, opt, p.Out.Vals, func(lo, hi int, priv []tensor.Value) {
+			p.executeInFibers(lo, hi, u, priv, false)
+		})
+	default: // Atomic
+		zeroValues(p.Out.Vals, threads)
+		opt.Threads = threads
+		atomicUpd := threads > 1
+		parallel.For(nf, opt, func(lo, hi, _ int) {
+			p.executeInFibers(lo, hi, u, p.Out.Vals, atomicUpd)
+		})
+	}
 	return p.Out, nil
+}
+
+// executeInFibers processes input fibers [lo, hi), scattering each
+// fiber's R-expanded contribution into the output fiber it feeds (out is
+// the shared output or a worker's private copy, which must arrive
+// zeroed).
+func (p *TtmSemiPlan) executeInFibers(lo, hi int, u *tensor.Matrix, out []tensor.Value, atomicUpd bool) {
+	dsIn := p.X.DenseSize()
+	dsOut := p.Out.DenseSize()
+	r := p.R
+	ud := u.Data
+	for f := lo; f < hi; f++ {
+		of := int(p.ofOf[f])
+		dst := out[of*dsOut : (of+1)*dsOut]
+		in := p.X.Vals[f*dsIn : (f+1)*dsIn]
+		urow := ud[int(p.kOf[f])*r : int(p.kOf[f])*r+r]
+		for d, v := range in {
+			if v == 0 {
+				continue
+			}
+			base := int(p.baseOff[d])
+			if atomicUpd {
+				for c := 0; c < r; c++ {
+					parallel.AtomicAddFloat32(&dst[base+c*p.strideR], v*urow[c])
+				}
+			} else {
+				for c := 0; c < r; c++ {
+					dst[base+c*p.strideR] += v * urow[c]
+				}
+			}
+		}
+	}
 }
 
 func (p *TtmSemiPlan) executeOutFibers(lo, hi int, u *tensor.Matrix) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/gpusim"
 	"repro/internal/parallel"
@@ -25,6 +26,9 @@ type TtvPlan struct {
 	// Out is the preallocated output tensor of order N-1 with MF
 	// non-zeros; indices are final, values recomputed per Execute.
 	Out *tensor.COO
+	// LastStrategy records the reduction strategy the most recent
+	// ExecuteOMP call resolved to (for harness reporting).
+	LastStrategy parallel.Strategy
 }
 
 // PrepareTtv performs the preprocessing stage of Ttv in mode n.
@@ -80,17 +84,66 @@ func (p *TtvPlan) ExecuteSeq(v tensor.Vector) (*tensor.COO, error) {
 	return p.Out, nil
 }
 
-// ExecuteOMP parallelizes over independent fibers ("parfor f = 1..MF");
-// dynamic scheduling mitigates the fiber-length imbalance the paper
-// highlights.
+// ExecuteOMP runs the value computation with the strategy-selected
+// decomposition: owner-computes over independent fibers ("parfor
+// f = 1..MF", race-free but exposed to the fiber-length imbalance the
+// paper highlights), or balanced over non-zeros with the per-fiber
+// reduction protected by atomics or pooled per-worker private outputs.
 func (p *TtvPlan) ExecuteOMP(v tensor.Vector, opt parallel.Options) (*tensor.COO, error) {
 	if err := p.checkVec(v); err != nil {
 		return nil, err
 	}
-	parallel.For(p.NumFibers(), opt, func(lo, hi, _ int) {
-		p.executeFibers(lo, hi, v)
-	})
+	m := p.X.NNZ()
+	mf := p.NumFibers()
+	st, threads := planReduction(opt, m, mf, m, mf)
+	p.LastStrategy = st
+	switch st {
+	case parallel.Owner:
+		parallel.For(mf, opt, func(lo, hi, _ int) {
+			p.executeFibers(lo, hi, v)
+		})
+	case parallel.Privatized:
+		privatizedReduce(m, threads, opt, p.Out.Vals, func(lo, hi int, priv []tensor.Value) {
+			p.executeNNZ(lo, hi, v, priv, false)
+		})
+	default: // Atomic
+		zeroValues(p.Out.Vals, threads)
+		opt.Threads = threads
+		atomicUpd := threads > 1
+		parallel.For(m, opt, func(lo, hi, _ int) {
+			p.executeNNZ(lo, hi, v, p.Out.Vals, atomicUpd)
+		})
+	}
 	return p.Out, nil
+}
+
+// executeNNZ processes non-zeros [lo, hi) of the fiber-sorted tensor: a
+// segmented reduction that accumulates each contiguous fiber segment
+// locally and flushes it once per segment, so only fibers split across
+// workers ever contend on yv.
+func (p *TtvPlan) executeNNZ(lo, hi int, v tensor.Vector, yv []tensor.Value, atomicUpd bool) {
+	fptr := p.Fptr
+	kInd := p.X.Inds[p.Mode]
+	xv := p.X.Vals
+	f := sort.Search(len(fptr)-1, func(i int) bool { return fptr[i+1] > int64(lo) })
+	for m := lo; m < hi; {
+		for fptr[f+1] <= int64(m) {
+			f++
+		}
+		end := hi
+		if fptr[f+1] < int64(end) {
+			end = int(fptr[f+1])
+		}
+		var acc tensor.Value
+		for ; m < end; m++ {
+			acc += xv[m] * v[kInd[m]]
+		}
+		if atomicUpd {
+			parallel.AtomicAddFloat32(&yv[f], acc)
+		} else {
+			yv[f] += acc
+		}
+	}
 }
 
 // ExecuteGPU runs the COO-Ttv-GPU kernel: a 1-D grid of 1-D thread blocks

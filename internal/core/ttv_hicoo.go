@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/gpusim"
 	"repro/internal/hicoo"
@@ -27,6 +28,9 @@ type TtvHiCOOPlan struct {
 	FiberBlock []int32
 	// Out is the preallocated order-(N-1) HiCOO output.
 	Out *hicoo.HiCOO
+	// LastStrategy records the reduction strategy the most recent
+	// ExecuteOMP call resolved to (for harness reporting).
+	LastStrategy parallel.Strategy
 }
 
 // PrepareTtvHiCOO converts the tensor to gHiCOO (compressing every mode
@@ -90,16 +94,64 @@ func (p *TtvHiCOOPlan) ExecuteSeq(v tensor.Vector) (*hicoo.HiCOO, error) {
 	return p.Out, nil
 }
 
-// ExecuteOMP parallelizes over independent fibers, exactly as the COO
-// kernel does.
+// ExecuteOMP runs the value computation exactly as the COO kernel does:
+// owner-computes over independent fibers, or — when the strategy
+// selector picks a racy balanced decomposition — over non-zeros with
+// atomic or pooled-privatized per-fiber reduction.
 func (p *TtvHiCOOPlan) ExecuteOMP(v tensor.Vector, opt parallel.Options) (*hicoo.HiCOO, error) {
 	if err := p.checkVec(v); err != nil {
 		return nil, err
 	}
-	parallel.For(p.NumFibers(), opt, func(lo, hi, _ int) {
-		p.executeFibers(lo, hi, v)
-	})
+	m := p.X.NNZ()
+	mf := p.NumFibers()
+	st, threads := planReduction(opt, m, mf, m, mf)
+	p.LastStrategy = st
+	switch st {
+	case parallel.Owner:
+		parallel.For(mf, opt, func(lo, hi, _ int) {
+			p.executeFibers(lo, hi, v)
+		})
+	case parallel.Privatized:
+		privatizedReduce(m, threads, opt, p.Out.Vals, func(lo, hi int, priv []tensor.Value) {
+			p.executeNNZ(lo, hi, v, priv, false)
+		})
+	default: // Atomic
+		zeroValues(p.Out.Vals, threads)
+		opt.Threads = threads
+		atomicUpd := threads > 1
+		parallel.For(m, opt, func(lo, hi, _ int) {
+			p.executeNNZ(lo, hi, v, p.Out.Vals, atomicUpd)
+		})
+	}
 	return p.Out, nil
+}
+
+// executeNNZ is the segmented reduction over non-zeros [lo, hi): each
+// contiguous fiber segment accumulates locally and flushes once, so only
+// fibers split across workers contend on yv.
+func (p *TtvHiCOOPlan) executeNNZ(lo, hi int, v tensor.Vector, yv []tensor.Value, atomicUpd bool) {
+	fptr := p.Fptr
+	kInd := p.X.UInds[0]
+	xv := p.X.Vals
+	f := sort.Search(len(fptr)-1, func(i int) bool { return fptr[i+1] > int64(lo) })
+	for m := lo; m < hi; {
+		for fptr[f+1] <= int64(m) {
+			f++
+		}
+		end := hi
+		if fptr[f+1] < int64(end) {
+			end = int(fptr[f+1])
+		}
+		var acc tensor.Value
+		for ; m < end; m++ {
+			acc += xv[m] * v[kInd[m]]
+		}
+		if atomicUpd {
+			parallel.AtomicAddFloat32(&yv[f], acc)
+		} else {
+			yv[f] += acc
+		}
+	}
 }
 
 // ExecuteGPU runs HiCOO-Ttv-GPU (same execution as COO per §3.4.2): one

@@ -21,8 +21,15 @@ type TtvSemiPlan struct {
 	// mode n removed entirely.
 	Out *tensor.SemiCOO
 
+	// LastStrategy records the reduction strategy the most recent
+	// ExecuteOMP call resolved to (for harness reporting).
+	LastStrategy parallel.Strategy
+
 	outFiberInputs [][]int32
-	kOf            []tensor.Index
+	// ofOf maps each input fiber to the output fiber it feeds (the
+	// inverse of outFiberInputs, for the racy input-parallel strategies).
+	ofOf []int32
+	kOf  []tensor.Index
 }
 
 // PrepareTtvSemi groups the input fibers by their remaining sparse
@@ -66,6 +73,7 @@ func PrepareTtvSemi(x *tensor.SemiCOO, mode int) (*TtvSemiPlan, error) {
 
 	nf := x.NumFibers()
 	p.kOf = make([]tensor.Index, nf)
+	p.ofOf = make([]int32, nf)
 	groups := make(map[string]int, nf)
 	key := make([]byte, 4*(len(sparse)-1))
 	outSparseIdx := make([]tensor.Index, len(sparse)-1)
@@ -88,6 +96,7 @@ func PrepareTtvSemi(x *tensor.SemiCOO, mode int) (*TtvSemiPlan, error) {
 			p.outFiberInputs = append(p.outFiberInputs, nil)
 		}
 		p.outFiberInputs[of] = append(p.outFiberInputs[of], int32(f))
+		p.ofOf[f] = int32(of)
 	}
 	return p, nil
 }
@@ -101,15 +110,61 @@ func (p *TtvSemiPlan) ExecuteSeq(v tensor.Vector) (*tensor.SemiCOO, error) {
 	return p.Out, nil
 }
 
-// ExecuteOMP parallelizes over output fibers.
+// ExecuteOMP runs the value computation with the strategy-selected
+// decomposition: owner-computes over output fibers (input fibers sharing
+// an output fiber handled by one worker), or balanced over input fibers
+// with the shared output protected by atomics or pooled per-worker
+// private copies.
 func (p *TtvSemiPlan) ExecuteOMP(v tensor.Vector, opt parallel.Options) (*tensor.SemiCOO, error) {
 	if err := p.checkVec(v); err != nil {
 		return nil, err
 	}
-	parallel.For(len(p.outFiberInputs), opt, func(lo, hi, _ int) {
-		p.executeOutFibers(lo, hi, v)
-	})
+	nf := p.X.NumFibers()
+	nOut := len(p.outFiberInputs)
+	st, threads := planReduction(opt, nf, len(p.Out.Vals), len(p.X.Vals), nOut)
+	p.LastStrategy = st
+	switch st {
+	case parallel.Owner:
+		parallel.For(nOut, opt, func(lo, hi, _ int) {
+			p.executeOutFibers(lo, hi, v)
+		})
+	case parallel.Privatized:
+		privatizedReduce(nf, threads, opt, p.Out.Vals, func(lo, hi int, priv []tensor.Value) {
+			p.executeInFibers(lo, hi, v, priv, false)
+		})
+	default: // Atomic
+		zeroValues(p.Out.Vals, threads)
+		opt.Threads = threads
+		atomicUpd := threads > 1
+		parallel.For(nf, opt, func(lo, hi, _ int) {
+			p.executeInFibers(lo, hi, v, p.Out.Vals, atomicUpd)
+		})
+	}
 	return p.Out, nil
+}
+
+// executeInFibers processes input fibers [lo, hi), scattering each
+// fiber's contribution into the output fiber it feeds (out is the shared
+// output or a worker's private copy, which must arrive zeroed).
+func (p *TtvSemiPlan) executeInFibers(lo, hi int, v tensor.Vector, out []tensor.Value, atomicUpd bool) {
+	ds := p.X.DenseSize() // output dense size equals input dense size
+	for f := lo; f < hi; f++ {
+		of := int(p.ofOf[f])
+		dst := out[of*ds : (of+1)*ds]
+		in := p.X.Vals[f*ds : (f+1)*ds]
+		vv := v[p.kOf[f]]
+		if atomicUpd {
+			for d, x := range in {
+				if x != 0 {
+					parallel.AtomicAddFloat32(&dst[d], x*vv)
+				}
+			}
+		} else {
+			for d, x := range in {
+				dst[d] += x * vv
+			}
+		}
+	}
 }
 
 func (p *TtvSemiPlan) executeOutFibers(lo, hi int, v tensor.Vector) {

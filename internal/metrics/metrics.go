@@ -79,6 +79,10 @@ type Result struct {
 	TimeSec float64
 	// Flops is the per-execution floating point work.
 	Flops int64
+	// Strategy is the reduction strategy the kernel's OMP path resolved
+	// to ("owner", "atomic", "privatized"), for the reduction kernels on
+	// measured runs; empty otherwise.
+	Strategy string
 }
 
 // MeasureHost times one kernel × format on the host CPU, averaging over
@@ -146,12 +150,14 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 					return res, err
 				}
 				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(v, cfg.Sched) })
+				res.Strategy = p.LastStrategy.String()
 			} else {
 				p, err := core.PrepareTtvHiCOO(x, mode, cfg.BlockBits)
 				if err != nil {
 					return res, err
 				}
 				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(v, cfg.Sched) })
+				res.Strategy = p.LastStrategy.String()
 			}
 		}
 	case roofline.Ttm:
@@ -164,12 +170,14 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 					return res, err
 				}
 				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(u, cfg.Sched) })
+				res.Strategy = p.LastStrategy.String()
 			} else {
 				p, err := core.PrepareTtmHiCOO(x, mode, cfg.R, cfg.BlockBits)
 				if err != nil {
 					return res, err
 				}
 				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(u, cfg.Sched) })
+				res.Strategy = p.LastStrategy.String()
 			}
 		}
 	case roofline.Mttkrp:
@@ -185,12 +193,14 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 					return res, err
 				}
 				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(mats, cfg.Sched) })
+				res.Strategy = p.LastStrategy.String()
 			} else {
 				p, err := core.PrepareMttkrpHiCOO(h, mode, cfg.R)
 				if err != nil {
 					return res, err
 				}
 				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(mats, cfg.Sched) })
+				res.Strategy = p.LastStrategy.String()
 			}
 		}
 	default:

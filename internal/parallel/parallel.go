@@ -66,6 +66,29 @@ type Options struct {
 	Chunk int
 	// Threads overrides NumThreads for this loop when > 0.
 	Threads int
+	// Strategy selects the reduction-update strategy for kernels with a
+	// shared output (see Choose); the zero value Auto adapts per call.
+	Strategy Strategy
+}
+
+// ResolveThreads returns the worker count For will use for a loop of n
+// iterations under opt, reading the global NumThreads at most once.
+// Callers sizing per-worker state must resolve the count through this
+// function and pass it back via opt.Threads — re-reading NumThreads
+// races with SetNumThreads and can hand For more workers than the state
+// was sized for.
+func ResolveThreads(n int, opt Options) int {
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = NumThreads()
+	}
+	if n > 0 && threads > n {
+		threads = n
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return threads
 }
 
 // For executes body over the half-open range [0, n) using the configured
@@ -76,13 +99,7 @@ func For(n int, opt Options, body func(lo, hi, worker int)) {
 	if n <= 0 {
 		return
 	}
-	threads := opt.Threads
-	if threads <= 0 {
-		threads = NumThreads()
-	}
-	if threads > n {
-		threads = n
-	}
+	threads := ResolveThreads(n, opt)
 	if threads == 1 {
 		body(0, n, 0)
 		return
@@ -160,8 +177,13 @@ func For(n int, opt Options, body func(lo, hi, worker int)) {
 					if chunk < minChunk {
 						chunk = minChunk
 					}
-					// Claim [lo, lo+chunk) if lo is still current.
+					// Claim [lo, lo+chunk) if lo is still current. On a
+					// lost race, yield before retrying: under high
+					// contention (many workers, small chunks) spinning on
+					// the CAS starves the winner of the core it needs to
+					// publish the next value.
 					if !next.CompareAndSwap(int64(lo), int64(lo+chunk)) {
+						runtime.Gosched()
 						continue
 					}
 					hi := lo + chunk
@@ -227,20 +249,30 @@ func AtomicAddFloat64(addr *float64, delta float64) {
 	}
 }
 
+// reducePad spaces per-worker partials one 64-byte cache line apart so
+// the workers' accumulator stores do not false-share.
+const reducePad = 8
+
 // ReduceFloat64 runs body over [0, n) and returns the sum of all per-call
 // partial results — the equivalent of "omp parallel for reduction(+)".
+//
+// The worker count is resolved exactly once and pinned through
+// opt.Threads: sizing the partial array from one NumThreads read while
+// For re-reads it would let a concurrent SetNumThreads hand out worker
+// ids beyond the array. The partials come from the shared workspace, so
+// steady-state calls do not allocate them.
 func ReduceFloat64(n int, opt Options, body func(lo, hi, worker int) float64) float64 {
-	threads := opt.Threads
-	if threads <= 0 {
-		threads = NumThreads()
-	}
-	partial := make([]float64, threads)
+	threads := ResolveThreads(n, opt)
+	opt.Threads = threads
+	ws := SharedWorkspace()
+	partial := ws.Float64(threads * reducePad)
 	For(n, opt, func(lo, hi, w int) {
-		partial[w] += body(lo, hi, w)
+		partial[w*reducePad] += body(lo, hi, w)
 	})
 	var sum float64
-	for _, p := range partial {
-		sum += p
+	for w := 0; w < threads; w++ {
+		sum += partial[w*reducePad]
 	}
+	ws.PutFloat64(partial)
 	return sum
 }

@@ -169,3 +169,88 @@ func TestScheduleString(t *testing.T) {
 		t.Fatal("unknown schedule string wrong")
 	}
 }
+
+// TestGuidedExactlyOnceUnderContention drives the Guided schedule's CAS
+// claim loop as hard as possible — many more workers than cores, minimum
+// chunk 1, tiny iteration space — and checks every index is still visited
+// exactly once. Before the claim loop yielded on a lost race this
+// configuration could livelock the winner off its core.
+func TestGuidedExactlyOnceUnderContention(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		n := 257
+		seen := make([]int32, n)
+		For(n, Options{Schedule: Guided, Chunk: 1, Threads: 32}, func(lo, hi, w int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("iter %d: index %d visited %d times", iter, i, c)
+			}
+		}
+	}
+}
+
+// TestReduceFloat64ThreadChurn recomputes a known reduction while another
+// goroutine flips the global thread count. Before ReduceFloat64 pinned
+// its resolved count through opt.Threads, For could re-read a larger
+// NumThreads and hand out worker ids past the partial array.
+func TestReduceFloat64ThreadChurn(t *testing.T) {
+	orig := NumThreads()
+	defer SetNumThreads(orig)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			SetNumThreads(i%8 + 1)
+		}
+	}()
+
+	n := 10000
+	want := float64(n) * float64(n-1) / 2
+	for iter := 0; iter < 300; iter++ {
+		got := ReduceFloat64(n, Options{Schedule: Dynamic}, func(lo, hi, w int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += float64(i)
+			}
+			return s
+		})
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("iter %d: reduce = %v, want %v", iter, got, want)
+		}
+	}
+	close(stop)
+	<-done
+}
+
+// TestResolveThreads pins the clamping rules per-worker state sizing
+// depends on.
+func TestResolveThreads(t *testing.T) {
+	orig := NumThreads()
+	defer SetNumThreads(orig)
+	SetNumThreads(6)
+	if got := ResolveThreads(100, Options{}); got != 6 {
+		t.Fatalf("default = %d, want 6", got)
+	}
+	if got := ResolveThreads(100, Options{Threads: 3}); got != 3 {
+		t.Fatalf("override = %d, want 3", got)
+	}
+	if got := ResolveThreads(2, Options{Threads: 8}); got != 2 {
+		t.Fatalf("clamp to n = %d, want 2", got)
+	}
+	if got := ResolveThreads(0, Options{Threads: 8}); got != 8 {
+		t.Fatalf("n=0 keeps request = %d, want 8", got)
+	}
+	if got := ResolveThreads(-5, Options{Threads: -2}); got < 1 {
+		t.Fatalf("floor = %d, want >= 1", got)
+	}
+}

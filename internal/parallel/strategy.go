@@ -1,0 +1,112 @@
+package parallel
+
+// Strategy selects how concurrent workers combine partial results into a
+// shared reduction output — the choice the paper's Observation 5 singles
+// out for COO-Mttkrp, where "omp atomic" contention on popular output
+// rows limits multicore scaling and privatization ([42]) is the remedy.
+type Strategy int
+
+const (
+	// Auto lets the runtime pick a strategy per invocation from the
+	// reduction's shape (output size × threads vs update count).
+	Auto Strategy = iota
+	// Owner partitions the loop so every output element has exactly one
+	// writer (owner-computes, e.g. fiber-parallel Ttv/Ttm): no
+	// synchronization, but parallelism is bounded by the output units and
+	// skewed units cause imbalance. Only kernels with an owner
+	// decomposition support it; others fall back to Atomic.
+	Owner
+	// Atomic updates the shared output with atomic read-modify-write
+	// ("omp atomic"): no extra memory, but popular output elements
+	// serialize the workers.
+	Atomic
+	// Privatized gives each worker a private copy of the output drawn
+	// from the shared Workspace, merged after the loop: atomic-free
+	// updates at a memory cost of threads × output (T×Iₙ×R for Mttkrp).
+	Privatized
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Owner:
+		return "owner"
+	case Atomic:
+		return "atomic"
+	case Privatized:
+		return "privatized"
+	}
+	return "unknown"
+}
+
+// ReductionShape describes one reduction invocation for Choose.
+type ReductionShape struct {
+	// OutElems is the number of output elements the loop scatters into.
+	OutElems int
+	// Updates is the total number of accumulate operations the loop
+	// performs across all output elements; Updates/OutElems is the mean
+	// contention per element.
+	Updates int
+	// OwnerUnits is the number of independent single-writer work units
+	// the kernel can offer (e.g. fibers); 0 when every decomposition
+	// races.
+	OwnerUnits int
+	// Threads is the resolved worker count; <= 0 reads NumThreads once.
+	Threads int
+}
+
+const (
+	// PrivatizationBudget caps the total private elements (threads ×
+	// output) Auto will spend on private output copies: past this point
+	// the zero+merge traffic and memory footprint outweigh saved atomics.
+	PrivatizationBudget = 1 << 24
+
+	// ownerParallelFactor is the minimum owner-units-per-thread ratio for
+	// Auto to keep the race-free owner decomposition: below it the units
+	// are too coarse to balance and the racy nnz decomposition wins.
+	ownerParallelFactor = 4
+
+	// privatizeReuseFactor is the minimum mean updates-per-output-element
+	// for Auto to privatize: each private element is zeroed and merged
+	// once, so it must absorb at least a few updates to pay for itself.
+	privatizeReuseFactor = 2
+)
+
+// Choose resolves a requested strategy against the shape of one
+// reduction. Explicit requests are honored (Owner degrades to Atomic when
+// the kernel has no owner decomposition); Auto picks Owner when the
+// owner units offer enough parallelism, otherwise privatizes when the
+// output is small and hot enough for private copies to pay off, and
+// falls back to Atomic for large or sparsely-updated outputs.
+func Choose(requested Strategy, sh ReductionShape) Strategy {
+	if sh.Threads <= 0 {
+		sh.Threads = NumThreads()
+	}
+	switch requested {
+	case Owner:
+		if sh.OwnerUnits > 0 {
+			return Owner
+		}
+		return Atomic
+	case Atomic, Privatized:
+		return requested
+	}
+	// Auto. A single worker never races: prefer the owner decomposition,
+	// else the atomic path (whose callers skip real atomics at T=1).
+	if sh.Threads <= 1 {
+		if sh.OwnerUnits > 0 {
+			return Owner
+		}
+		return Atomic
+	}
+	if sh.OwnerUnits >= ownerParallelFactor*sh.Threads {
+		return Owner
+	}
+	if sh.OutElems > 0 &&
+		int64(sh.OutElems)*int64(sh.Threads) <= PrivatizationBudget &&
+		sh.Updates >= privatizeReuseFactor*sh.OutElems {
+		return Privatized
+	}
+	return Atomic
+}

@@ -1,0 +1,101 @@
+package parallel
+
+import "testing"
+
+func TestStrategyString(t *testing.T) {
+	cases := map[Strategy]string{
+		Auto:         "auto",
+		Owner:        "owner",
+		Atomic:       "atomic",
+		Privatized:   "privatized",
+		Strategy(99): "unknown",
+	}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Errorf("Strategy(%d).String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}
+
+func TestChooseHonorsExplicitRequest(t *testing.T) {
+	sh := ReductionShape{OutElems: 100, Updates: 1000, OwnerUnits: 100, Threads: 8}
+	if got := Choose(Atomic, sh); got != Atomic {
+		t.Errorf("explicit Atomic resolved to %v", got)
+	}
+	if got := Choose(Privatized, sh); got != Privatized {
+		t.Errorf("explicit Privatized resolved to %v", got)
+	}
+	if got := Choose(Owner, sh); got != Owner {
+		t.Errorf("explicit Owner resolved to %v", got)
+	}
+	// Owner without an owner decomposition degrades to Atomic rather than
+	// handing the kernel a strategy it cannot run.
+	sh.OwnerUnits = 0
+	if got := Choose(Owner, sh); got != Atomic {
+		t.Errorf("Owner with no owner units resolved to %v, want Atomic", got)
+	}
+}
+
+func TestChooseAuto(t *testing.T) {
+	cases := []struct {
+		name string
+		sh   ReductionShape
+		want Strategy
+	}{
+		{
+			name: "single thread with owner path",
+			sh:   ReductionShape{OutElems: 100, Updates: 1000, OwnerUnits: 10, Threads: 1},
+			want: Owner,
+		},
+		{
+			name: "single thread without owner path",
+			sh:   ReductionShape{OutElems: 100, Updates: 1000, Threads: 1},
+			want: Atomic,
+		},
+		{
+			name: "ample owner parallelism",
+			sh:   ReductionShape{OutElems: 1000, Updates: 100000, OwnerUnits: 4 * 8, Threads: 8},
+			want: Owner,
+		},
+		{
+			name: "too few owner units, small output, high reuse",
+			sh:   ReductionShape{OutElems: 1000, Updates: 100000, OwnerUnits: 8, Threads: 8},
+			want: Privatized,
+		},
+		{
+			name: "no owner path, small output, high reuse",
+			sh:   ReductionShape{OutElems: 1 << 10, Updates: 1 << 20, Threads: 8},
+			want: Privatized,
+		},
+		{
+			name: "output over privatization budget",
+			sh:   ReductionShape{OutElems: PrivatizationBudget, Updates: 1 << 30, Threads: 8},
+			want: Atomic,
+		},
+		{
+			name: "too little reuse to pay for the merge",
+			sh:   ReductionShape{OutElems: 1 << 10, Updates: 1 << 10, Threads: 8},
+			want: Atomic,
+		},
+		{
+			name: "budget boundary exactly met",
+			sh:   ReductionShape{OutElems: PrivatizationBudget / 8, Updates: 1 << 30, Threads: 8},
+			want: Privatized,
+		},
+	}
+	for _, c := range cases {
+		if got := Choose(Auto, c.sh); got != c.want {
+			t.Errorf("%s: Choose(Auto, %+v) = %v, want %v", c.name, c.sh, got, c.want)
+		}
+	}
+}
+
+func TestChooseZeroThreadsReadsGlobal(t *testing.T) {
+	orig := NumThreads()
+	defer SetNumThreads(orig)
+	SetNumThreads(1)
+	sh := ReductionShape{OutElems: 100, Updates: 10000, OwnerUnits: 2}
+	if got := Choose(Auto, sh); got != Owner {
+		t.Errorf("threads=0 with NumThreads=1: got %v, want Owner", got)
+	}
+}

@@ -1,0 +1,175 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWorkspaceFloat32ReuseAndZeroing(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Float32(64)
+	if len(a) != 64 {
+		t.Fatalf("len = %d, want 64", len(a))
+	}
+	for i := range a {
+		a[i] = float32(i + 1)
+	}
+	ws.PutFloat32(a)
+	b := ws.Float32(64)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	st := ws.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestWorkspaceFloat64ReuseAndZeroing(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Float64(32)
+	for i := range a {
+		a[i] = 3.5
+	}
+	ws.PutFloat64(a)
+	b := ws.Float64(32)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	if st := ws.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestWorkspaceSizeKeying(t *testing.T) {
+	ws := NewWorkspace()
+	ws.PutFloat32(ws.Float32(100))
+	// Different size must miss, not truncate or regrow the pooled buffer.
+	b := ws.Float32(200)
+	if len(b) != 200 {
+		t.Fatalf("len = %d, want 200", len(b))
+	}
+	if st := ws.Stats(); st.Hits != 0 {
+		t.Fatalf("different size hit the pool: %+v", st)
+	}
+}
+
+func TestWorkspacePrivateSetReuse(t *testing.T) {
+	ws := NewWorkspace()
+	s := ws.Set(4, 128)
+	if len(s.Bufs) != 4 {
+		t.Fatalf("workers = %d, want 4", len(s.Bufs))
+	}
+	for _, buf := range s.Bufs {
+		if len(buf) != 128 {
+			t.Fatalf("buf len = %d, want 128", len(buf))
+		}
+		for i := range buf {
+			buf[i] = 1
+		}
+	}
+	ws.PutSet(s)
+	s2 := ws.Set(4, 128)
+	for w, buf := range s2.Bufs {
+		for i, v := range buf {
+			if v != 0 {
+				t.Fatalf("reused set worker %d not zeroed at %d: %v", w, i, v)
+			}
+		}
+	}
+	if st := ws.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	// A different shape is a distinct pool key.
+	s3 := ws.Set(2, 128)
+	if len(s3.Bufs) != 2 {
+		t.Fatalf("workers = %d, want 2", len(s3.Bufs))
+	}
+	if st := ws.Stats(); st.Hits != 1 {
+		t.Fatalf("different shape hit the pool: %+v", st)
+	}
+}
+
+func TestWorkspaceDrop(t *testing.T) {
+	ws := NewWorkspace()
+	ws.PutFloat32(ws.Float32(1024))
+	ws.PutFloat64(ws.Float64(1024))
+	ws.PutSet(ws.Set(2, 512))
+	if st := ws.Stats(); st.RetainedBytes == 0 {
+		t.Fatal("retained bytes = 0 after returning buffers")
+	}
+	ws.Drop()
+	if st := ws.Stats(); st.RetainedBytes != 0 {
+		t.Fatalf("retained bytes = %d after Drop, want 0", st.RetainedBytes)
+	}
+	// Pool still usable after Drop.
+	if b := ws.Float32(16); len(b) != 16 {
+		t.Fatal("workspace unusable after Drop")
+	}
+}
+
+// TestWorkspaceConcurrent hammers one workspace from many goroutines; run
+// under -race it proves the pool's locking. Each goroutine checks that the
+// buffer it got is zeroed and exclusively owned.
+func TestWorkspaceConcurrent(t *testing.T) {
+	ws := NewWorkspace()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 200; it++ {
+				buf := ws.Float32(256)
+				for i, v := range buf {
+					if v != 0 {
+						t.Errorf("goroutine %d: dirty buffer at %d: %v", g, i, v)
+						return
+					}
+				}
+				for i := range buf {
+					buf[i] = float32(g + 1)
+				}
+				for i, v := range buf {
+					if v != float32(g+1) {
+						t.Errorf("goroutine %d: buffer shared, saw %v at %d", g, v, i)
+						return
+					}
+				}
+				ws.PutFloat32(buf)
+
+				s := ws.Set(3, 64)
+				s.Bufs[0][0] = float32(g)
+				ws.PutSet(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestWorkspaceSteadyStateNoMisses verifies the pooling contract the
+// kernels rely on: after a warm-up acquire/release cycle, further cycles
+// of the same shape never miss (and therefore never allocate backing
+// arrays).
+func TestWorkspaceSteadyStateNoMisses(t *testing.T) {
+	ws := NewWorkspace()
+	ws.PutSet(ws.Set(4, 1024))
+	ws.PutFloat64(ws.Float64(64))
+	warm := ws.Stats()
+	for i := 0; i < 100; i++ {
+		s := ws.Set(4, 1024)
+		b := ws.Float64(64)
+		ws.PutFloat64(b)
+		ws.PutSet(s)
+	}
+	st := ws.Stats()
+	if st.Misses != warm.Misses {
+		t.Fatalf("steady state missed: warm %d misses, now %d", warm.Misses, st.Misses)
+	}
+	if st.Hits != warm.Hits+200 {
+		t.Fatalf("hits = %d, want %d", st.Hits, warm.Hits+200)
+	}
+}

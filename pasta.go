@@ -79,7 +79,27 @@ type (
 	Op = core.Op
 	// Options configures OpenMP-style loop scheduling.
 	Options = parallel.Options
+	// Strategy selects the reduction-update strategy of the OMP kernels.
+	Strategy = parallel.Strategy
+	// WorkspaceStats reports the pooled reduction-workspace counters.
+	WorkspaceStats = parallel.WorkspaceStats
 )
+
+// Reduction strategies (Options.Strategy).
+const (
+	// StrategyAuto lets the runtime pick per call from the reduction shape.
+	StrategyAuto = parallel.Auto
+	// StrategyOwner forces the race-free owner-computes decomposition.
+	StrategyOwner = parallel.Owner
+	// StrategyAtomic forces racy updates guarded by atomic float adds.
+	StrategyAtomic = parallel.Atomic
+	// StrategyPrivatized forces pooled per-worker private outputs + merge.
+	StrategyPrivatized = parallel.Privatized
+)
+
+// ReductionWorkspaceStats reports hit/miss/retained-bytes counters of the
+// shared privatization workspace pool.
+func ReductionWorkspaceStats() WorkspaceStats { return parallel.SharedWorkspace().Stats() }
 
 // Element-wise operations.
 const (
