@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/gen"
@@ -31,7 +32,8 @@ func main() {
 		exp     = flag.Float64("exp", gen.DefaultExponent, "power-law exponent (pl only)")
 		seed    = flag.Int64("seed", 1, "random seed (reproducible output)")
 		recipe  = flag.String("recipe", "", "generate a Table 2/3 entry by ID or name (e.g. s4, irrS, deli)")
-		out     = flag.String("o", "", "output .tns path (default stdout)")
+		out     = flag.String("o", "", "output path: .tns, .tns.gz, or .bten (default .tns to stdout)")
+		binv1   = flag.Bool("binv1", false, "write .bten output in the legacy checksum-free v1 layout")
 	)
 	flag.Parse()
 
@@ -78,10 +80,33 @@ func main() {
 		}
 		return
 	}
-	if err := tensor.WriteFile(*out, x); err != nil {
+	start := time.Now()
+	if *binv1 {
+		if !strings.HasSuffix(*out, ".bten") {
+			fail(fmt.Errorf("pastagen: -binv1 requires a .bten output path"))
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if err := tensor.WriteBinaryV1(f, x); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	} else if err := tensor.WriteFile(*out, x); err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	elapsed := time.Since(start)
+	info, err := os.Stat(*out)
+	if err != nil {
+		fail(err)
+	}
+	mb := float64(info.Size()) / 1e6
+	fmt.Fprintf(os.Stderr, "wrote %s: %.2f MB in %v (%.1f MB/s)\n",
+		*out, mb, elapsed.Round(time.Millisecond), mb/elapsed.Seconds())
 }
 
 func parseDims(s string) ([]tensor.Index, error) {

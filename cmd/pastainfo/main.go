@@ -35,12 +35,13 @@ func main() {
 	flag.Parse()
 
 	var (
-		x   *tensor.COO
-		err error
+		x     *tensor.COO
+		stats tensor.LoadStats
+		err   error
 	)
 	switch {
 	case *file != "":
-		x, err = tensor.ReadFile(*file)
+		x, stats, err = tensor.ReadFileStats(*file)
 	case *id != "":
 		var e dataset.Entry
 		e, err = dataset.ByID(*id)
@@ -56,6 +57,9 @@ func main() {
 		os.Exit(1)
 	}
 
+	if stats.Path != "" {
+		fmt.Printf("load:    %v\n", stats)
+	}
 	fmt.Printf("tensor:  %v\n", x)
 	fmt.Printf("order:   %d\n", x.Order())
 	fmt.Printf("dims:    %v\n", x.Dims)

@@ -32,7 +32,7 @@ func main() {
 		nnz  = flag.Int("nnz", 20000, "non-zeros per generated test tensor")
 		seed = flag.Int64("seed", 1, "generator seed")
 		tol  = flag.Float64("tol", 2e-3, "relative tolerance between implementations")
-		file = flag.String("f", "", "also verify against a user-supplied .tns file")
+		file = flag.String("f", "", "also verify against a user-supplied tensor file (.tns, .tns.gz, or .bten)")
 	)
 	flag.Parse()
 
@@ -63,8 +63,9 @@ func main() {
 		tensor.RandomCOO([]tensor.Index{96, 96, 96}, *nnz, rng)})
 
 	if *file != "" {
-		x, err := tensor.ReadTNSFile(*file)
+		x, stats, err := tensor.ReadFileStats(*file)
 		must(err)
+		fmt.Printf("loaded %v\n", stats)
 		cases = append(cases, tc{*file, x})
 	}
 

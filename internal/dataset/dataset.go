@@ -142,7 +142,8 @@ func ByID(id string) (Entry, error) {
 }
 
 // TensorDirEnv names the environment variable pointing at a directory of
-// real .tns files; Materialize prefers <dir>/<name>.tns when present.
+// tensor files; Materialize prefers <dir>/<name>.bten, then .tns, then
+// .tns.gz when present.
 const TensorDirEnv = "PASTA_TENSOR_DIR"
 
 // ScaledDims shrinks the paper dims so the stand-in with targetNNZ
@@ -172,10 +173,12 @@ func (e Entry) ScaledDims(targetNNZ int) []tensor.Index {
 // generated per the entry's class. Generation is deterministic in seed.
 func Materialize(e Entry, targetNNZ int, seed int64) (*tensor.COO, error) {
 	if dir := os.Getenv(TensorDirEnv); dir != "" {
-		for _, suffix := range []string{".tns", ".tns.gz"} {
+		// .bten first: the binary format loads fastest and carries
+		// checksums, so a prepared directory should win over text.
+		for _, suffix := range []string{".bten", ".tns", ".tns.gz"} {
 			path := filepath.Join(dir, e.Name+suffix)
 			if _, err := os.Stat(path); err == nil {
-				return tensor.ReadTNSFile(path)
+				return tensor.ReadFile(path)
 			}
 		}
 	}

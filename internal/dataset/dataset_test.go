@@ -185,6 +185,33 @@ func TestMaterializePrefersRealFile(t *testing.T) {
 	os.Remove(filepath.Join(dir, "vast.tns"))
 }
 
+// TestMaterializePrefersBinaryFile checks the .bten > .tns preference: a
+// prepared binary file wins over a text file for the same tensor.
+func TestMaterializePrefersBinaryFile(t *testing.T) {
+	dir := t.TempDir()
+	txt := tensor.NewCOO([]tensor.Index{3, 3, 2}, 1)
+	txt.AppendIdx3(0, 0, 0, 1)
+	if err := tensor.WriteTNSFile(filepath.Join(dir, "nell2.tns"), txt); err != nil {
+		t.Fatal(err)
+	}
+	bin := tensor.NewCOO([]tensor.Index{4, 4, 4}, 3)
+	bin.AppendIdx3(0, 1, 2, 5)
+	bin.AppendIdx3(1, 2, 3, 6)
+	bin.AppendIdx3(3, 3, 3, 7)
+	if err := tensor.WriteFile(filepath.Join(dir, "nell2.bten"), bin); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(TensorDirEnv, dir)
+	e, _ := ByID("nell2")
+	got, err := Materialize(e, 99999, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 3 {
+		t.Fatalf("expected the .bten file (3 nnz) to win, got %d nnz", got.NNZ())
+	}
+}
+
 func TestMaterializeErrors(t *testing.T) {
 	e, _ := ByID("vast")
 	if _, err := Materialize(e, 0, 1); err == nil {

@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -79,10 +80,17 @@ type Result struct {
 	TimeSec float64
 	// Flops is the per-execution floating point work.
 	Flops int64
-	// Strategy is the reduction strategy the kernel's OMP path resolved
-	// to ("owner", "atomic", "privatized"), for the reduction kernels on
-	// measured runs; empty otherwise.
+	// Strategy summarizes the reduction strategies the kernel's OMP path
+	// resolved to ("owner", "atomic", "privatized") on measured runs of
+	// the reduction kernels: the single value when every mode agreed,
+	// otherwise the comma-joined per-mode list (e.g.
+	// "atomic,privatized,atomic"); empty otherwise.
 	Strategy string
+	// Strategies records the strategy each mode resolved to, in mode
+	// order. The adaptive selector may pick differently per mode, so
+	// ablation output must not pretend the last mode's choice covered
+	// the whole measurement.
+	Strategies []string
 }
 
 // MeasureHost times one kernel × format on the host CPU, averaging over
@@ -150,14 +158,14 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 					return res, err
 				}
 				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(v, cfg.Sched) })
-				res.Strategy = p.LastStrategy.String()
+				res.Strategies = append(res.Strategies, p.LastStrategy.String())
 			} else {
 				p, err := core.PrepareTtvHiCOO(x, mode, cfg.BlockBits)
 				if err != nil {
 					return res, err
 				}
 				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(v, cfg.Sched) })
-				res.Strategy = p.LastStrategy.String()
+				res.Strategies = append(res.Strategies, p.LastStrategy.String())
 			}
 		}
 	case roofline.Ttm:
@@ -170,14 +178,14 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 					return res, err
 				}
 				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(u, cfg.Sched) })
-				res.Strategy = p.LastStrategy.String()
+				res.Strategies = append(res.Strategies, p.LastStrategy.String())
 			} else {
 				p, err := core.PrepareTtmHiCOO(x, mode, cfg.R, cfg.BlockBits)
 				if err != nil {
 					return res, err
 				}
 				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(u, cfg.Sched) })
-				res.Strategy = p.LastStrategy.String()
+				res.Strategies = append(res.Strategies, p.LastStrategy.String())
 			}
 		}
 	case roofline.Mttkrp:
@@ -193,14 +201,14 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 					return res, err
 				}
 				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(mats, cfg.Sched) })
-				res.Strategy = p.LastStrategy.String()
+				res.Strategies = append(res.Strategies, p.LastStrategy.String())
 			} else {
 				p, err := core.PrepareMttkrpHiCOO(h, mode, cfg.R)
 				if err != nil {
 					return res, err
 				}
 				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(mats, cfg.Sched) })
-				res.Strategy = p.LastStrategy.String()
+				res.Strategies = append(res.Strategies, p.LastStrategy.String())
 			}
 		}
 	default:
@@ -212,8 +220,23 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 	if res.TimeSec > 0 {
 		res.GFLOPS = float64(res.Flops) / res.TimeSec / 1e9
 	}
+	res.Strategy = joinStrategies(res.Strategies)
 	res.Roofline, res.Efficiency = rooflineBound(host, x, k, f, cfg, res.GFLOPS)
 	return res, nil
+}
+
+// joinStrategies collapses per-mode strategies for display: the single
+// value when every mode agreed, otherwise the comma-joined list.
+func joinStrategies(s []string) string {
+	if len(s) == 0 {
+		return ""
+	}
+	for _, v := range s[1:] {
+		if v != s[0] {
+			return strings.Join(s, ",")
+		}
+	}
+	return s[0]
 }
 
 // Workloads precomputes the per-mode workload statistics of a tensor so a

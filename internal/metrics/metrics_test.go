@@ -114,6 +114,60 @@ func TestDefaultConfigMatchesPaper(t *testing.T) {
 	}
 }
 
+// TestMeasureHostRecordsPerModeStrategies is the regression test for the
+// strategy-overwrite bug: MeasureHost used to store only the last mode's
+// reduction strategy, hiding per-mode differences from ablation output.
+func TestMeasureHostRecordsPerModeStrategies(t *testing.T) {
+	host := platform.Host()
+	x := testTensor(6)
+	cfg := quickConfig()
+	for _, k := range []roofline.Kernel{roofline.Ttv, roofline.Ttm, roofline.Mttkrp} {
+		for _, f := range []roofline.Format{roofline.COO, roofline.HiCOO} {
+			r, err := MeasureHost(&host, x, k, f, cfg)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", k, f, err)
+			}
+			if len(r.Strategies) != x.Order() {
+				t.Fatalf("%v/%v: %d strategies recorded, want one per mode (%d): %v",
+					k, f, len(r.Strategies), x.Order(), r.Strategies)
+			}
+			for n, s := range r.Strategies {
+				if s == "" {
+					t.Fatalf("%v/%v: mode %d strategy empty", k, f, n)
+				}
+			}
+			if r.Strategy != joinStrategies(r.Strategies) {
+				t.Fatalf("%v/%v: summary %q does not reflect %v", k, f, r.Strategy, r.Strategies)
+			}
+		}
+	}
+	// Non-reduction kernels record no strategies.
+	r, err := MeasureHost(&host, x, roofline.Tew, roofline.COO, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Strategies) != 0 || r.Strategy != "" {
+		t.Fatalf("Tew should record no strategies, got %q / %v", r.Strategy, r.Strategies)
+	}
+}
+
+func TestJoinStrategies(t *testing.T) {
+	cases := []struct {
+		in   []string
+		want string
+	}{
+		{nil, ""},
+		{[]string{"atomic"}, "atomic"},
+		{[]string{"owner", "owner", "owner"}, "owner"},
+		{[]string{"atomic", "privatized", "atomic"}, "atomic,privatized,atomic"},
+	}
+	for _, c := range cases {
+		if got := joinStrategies(c.in); got != c.want {
+			t.Errorf("joinStrategies(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
 func TestSourceString(t *testing.T) {
 	if Measured.String() != "measured" || Modeled.String() != "modeled" {
 		t.Fatal("Source strings wrong")

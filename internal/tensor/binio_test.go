@@ -3,7 +3,9 @@ package tensor
 import (
 	"bytes"
 	"math/rand"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -31,13 +33,55 @@ func TestBinaryRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBinaryV1RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := RandomCOO([]Index{50, 40, 30}, 800, rng)
+	var buf bytes.Buffer
+	if err := WriteBinaryV1(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Bytes()[4] != binVersion1 {
+		t.Fatalf("version byte %d, want %d", buf.Bytes()[4], binVersion1)
+	}
+	y, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := AbsDiff(x, y); d != 0 {
+		t.Fatalf("v1 content diff %v", d)
+	}
+}
+
+func TestBinaryRoundTripUnknownSize(t *testing.T) {
+	// The chunked slow path (no size hint) must produce the same tensor.
+	rng := rand.New(rand.NewSource(11))
+	x := RandomCOO([]Index{64, 64, 64}, 1500, rng)
+	for name, write := range map[string]func(*bytes.Buffer) error{
+		"v1": func(b *bytes.Buffer) error { return WriteBinaryV1(b, x) },
+		"v2": func(b *bytes.Buffer) error { return WriteBinary(b, x) },
+	} {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		y, err := ReadBinary(opaqueReader{bytes.NewReader(buf.Bytes())})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d := AbsDiff(x, y); d != 0 {
+			t.Fatalf("%s: content diff %v", name, d)
+		}
+	}
+}
+
 func TestBinaryRejectsGarbage(t *testing.T) {
 	cases := map[string][]byte{
-		"empty":       {},
-		"bad magic":   []byte("NOPE\x01\x03"),
-		"bad version": []byte("PSTB\x09\x03"),
-		"truncated":   []byte("PSTB\x01\x03\x04\x00\x00"),
-		"zero order":  []byte("PSTB\x01\x00"),
+		"empty":        {},
+		"bad magic":    []byte("NOPE\x01\x03"),
+		"bad version":  []byte("PSTB\x09\x03"),
+		"truncated v1": []byte("PSTB\x01\x03\x04\x00\x00"),
+		"truncated v2": []byte("PSTB\x02\x03\x00\x00\x1c"),
+		"zero order":   []byte("PSTB\x01\x00"),
 	}
 	for name, raw := range cases {
 		if _, err := ReadBinary(bytes.NewReader(raw)); err == nil {
@@ -47,6 +91,22 @@ func TestBinaryRejectsGarbage(t *testing.T) {
 }
 
 func TestBinaryRejectsCorruptIndices(t *testing.T) {
+	// v1 has no checksum, so an out-of-range index must be caught by
+	// Validate. Layout: 4 magic + 1 ver + 1 order + 8 dims + 8 nnz.
+	x := NewCOO([]Index{4, 4}, 1)
+	x.Append([]Index{1, 1}, 2)
+	var buf bytes.Buffer
+	if err := WriteBinaryV1(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4+1+1+8+8] = 0xFF
+	if _, err := ReadBinary(bytes.NewReader(raw)); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestBinaryV2RejectsCorruptPayload(t *testing.T) {
 	x := NewCOO([]Index{4, 4}, 1)
 	x.Append([]Index{1, 1}, 2)
 	var buf bytes.Buffer
@@ -54,11 +114,14 @@ func TestBinaryRejectsCorruptIndices(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
-	// Corrupt the first index to an out-of-range value; Validate on read
-	// must reject it. Layout: 4 magic + 1 ver + 1 order + 8 dims + 8 nnz.
-	raw[4+1+1+8+8] = 0xFF
-	if _, err := ReadBinary(bytes.NewReader(raw)); err == nil {
-		t.Fatal("expected validation error")
+	// Payload starts after prologue (12) + header (16+4*2) + header CRC (4).
+	raw[12+24+4] ^= 0x01
+	_, err := ReadBinary(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("expected checksum error")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("error %v should name the checksum", err)
 	}
 }
 
@@ -66,7 +129,94 @@ func TestReadWriteFileDispatch(t *testing.T) {
 	dir := t.TempDir()
 	rng := rand.New(rand.NewSource(2))
 	x := RandomCOO([]Index{20, 20, 20}, 300, rng)
-	for _, name := range []string{"a.bten", "b.tns", "c.tns.gz"} {
+	wantFormat := map[string]string{"a.bten": "pstb-v2", "b.tns": "tns", "c.tns.gz": "tns.gz"}
+	for name, format := range wantFormat {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, x); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		y, st, err := ReadFileStats(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d := AbsDiff(x, y); d > 1e-6 {
+			t.Fatalf("%s: diff %v", name, d)
+		}
+		if st.Format != format {
+			t.Errorf("%s: detected format %q, want %q", name, st.Format, format)
+		}
+		if st.NNZ != x.NNZ() || st.Order != 3 || st.Bytes <= 0 {
+			t.Errorf("%s: stats %+v look wrong", name, st)
+		}
+	}
+	// v1 files are still read through the same dispatch.
+	v1path := filepath.Join(dir, "legacy.bten")
+	f, err := os.Create(v1path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinaryV1(f, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	y, st, err := ReadFileStats(v1path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Format != "pstb-v1" || AbsDiff(x, y) != 0 {
+		t.Fatalf("v1 dispatch: format %q diff %v", st.Format, AbsDiff(x, y))
+	}
+}
+
+func TestReadWriteFileRejectUnknownExtension(t *testing.T) {
+	dir := t.TempDir()
+	x := NewCOO([]Index{2, 2}, 1)
+	x.Append([]Index{0, 1}, 1)
+	for _, name := range []string{"t.txt", "t.bin", "t.gz", "t"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, x); err == nil {
+			t.Errorf("WriteFile(%s): expected unsupported-extension error", name)
+		}
+		if _, err := ReadFile(path); err == nil {
+			t.Errorf("ReadFile(%s): expected error", name)
+		}
+	}
+}
+
+func TestBinaryEmptyTensorRoundTrip(t *testing.T) {
+	// Zero non-zeros is representable in the binary format (the text
+	// format cannot express it: no lines means no dims).
+	x := NewCOO([]Index{5, 6, 7}, 0)
+	for name, write := range map[string]func(*bytes.Buffer) error{
+		"v1": func(b *bytes.Buffer) error { return WriteBinaryV1(b, x) },
+		"v2": func(b *bytes.Buffer) error { return WriteBinary(b, x) },
+	} {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		y, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if y.NNZ() != 0 || y.Order() != 3 || y.Dims[2] != 7 {
+			t.Fatalf("%s: got %v", name, y)
+		}
+		if err := y.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestOrder1RoundTripBothFormats(t *testing.T) {
+	x := NewCOO([]Index{9}, 3)
+	x.Append([]Index{0}, 1.5)
+	x.Append([]Index{8}, -2.25)
+	x.Append([]Index{4}, 0.30000001)
+	dir := t.TempDir()
+	for _, name := range []string{"o1.bten", "o1.tns"} {
 		path := filepath.Join(dir, name)
 		if err := WriteFile(path, x); err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -75,8 +225,11 @@ func TestReadWriteFileDispatch(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if d := AbsDiff(x, y); d > 1e-6 {
-			t.Fatalf("%s: diff %v", name, d)
+		if y.Order() != 1 || y.NNZ() != 3 {
+			t.Fatalf("%s: got %v", name, y)
+		}
+		if d := AbsDiff(x, y); d != 0 {
+			t.Fatalf("%s: diff %v (order-1 values must round-trip exactly)", name, d)
 		}
 	}
 }

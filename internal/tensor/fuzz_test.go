@@ -46,6 +46,61 @@ func FuzzReadTNS(f *testing.F) {
 	})
 }
 
+// FuzzReadBinary exercises the PSTB reader (both versions, both the
+// sized and unknown-size paths) against arbitrary bytes: it must never
+// panic or over-allocate, any tensor it accepts must be structurally
+// valid, and accepted tensors must round-trip through the v2 writer.
+func FuzzReadBinary(f *testing.F) {
+	small := NewCOO([]Index{3, 4, 5}, 4)
+	small.Append([]Index{0, 1, 2}, 1.5)
+	small.Append([]Index{2, 3, 4}, -0.25)
+	var v1, v2 bytes.Buffer
+	if err := WriteBinaryV1(&v1, small); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteBinary(&v2, small); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes()[:len(v1.Bytes())/2]) // truncated
+	f.Add(v2.Bytes()[:len(v2.Bytes())/2])
+	flipped := append([]byte(nil), v2.Bytes()...)
+	flipped[len(flipped)/2] ^= 0x10 // payload corruption
+	f.Add(flipped)
+	f.Add([]byte("PSTB"))
+	f.Add([]byte("PSTB\x01\xff"))                                         // huge order, no dims
+	f.Add([]byte("PSTB\x02\x02\x00\x00\x18\x00\x00\x00"))                 // v2 prologue only
+	f.Add([]byte("PSTB\x01\x01\x02\x00\x00\x00\xff\xff\xff\xff\xff\xff")) // absurd nnz
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		x, err := ReadBinary(bytes.NewReader(raw))
+		xu, erru := ReadBinary(opaqueReader{bytes.NewReader(raw)})
+		if (err == nil) != (erru == nil) {
+			t.Fatalf("sized/chunked disagree: %v vs %v", err, erru)
+		}
+		if err != nil {
+			return
+		}
+		if verr := x.Validate(); verr != nil {
+			t.Fatalf("reader accepted invalid tensor: %v", verr)
+		}
+		if !identicalCOO(x, xu) {
+			t.Fatal("sized and chunked parses differ")
+		}
+		var buf bytes.Buffer
+		if werr := WriteBinary(&buf, x); werr != nil {
+			t.Fatalf("writer failed on accepted tensor: %v", werr)
+		}
+		y, rerr := ReadBinary(&buf)
+		if rerr != nil {
+			t.Fatalf("re-read of rewritten tensor failed: %v", rerr)
+		}
+		if !identicalCOO(x, y) {
+			t.Fatal("v2 round trip changed content")
+		}
+	})
+}
+
 // FuzzDedupSort checks that arbitrary coordinate streams survive
 // Dedup/Sort with invariants intact.
 func FuzzDedupSort(f *testing.F) {

@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"fmt"
 	"io"
@@ -13,97 +14,60 @@ import (
 // ReadTNS parses the FROSTT ".tns" text format: one non-zero per line as
 // whitespace-separated 1-based coordinates followed by the value. Lines
 // that are empty or start with '#' are skipped. Mode sizes are inferred
-// as the maximum coordinate per mode unless every line agrees on a
-// declared size (FROSTT files carry no header).
+// as the maximum coordinate per mode (FROSTT files carry no header).
+//
+// The whole stream is buffered in memory so large inputs can be parsed
+// chunk-parallel; see ParseTNS.
 func ReadTNS(r io.Reader) (*COO, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-
-	var (
-		order int
-		inds  [][]Index
-		vals  []Value
-		dims  []Index
-		line  int
-	)
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		fields := strings.Fields(text)
-		if order == 0 {
-			order = len(fields) - 1
-			if order < 1 {
-				return nil, fmt.Errorf("tns: line %d: need at least one coordinate and a value", line)
-			}
-			inds = make([][]Index, order)
-			dims = make([]Index, order)
-		}
-		if len(fields) != order+1 {
-			return nil, fmt.Errorf("tns: line %d: %d fields, want %d", line, len(fields), order+1)
-		}
-		for n := 0; n < order; n++ {
-			u, err := strconv.ParseUint(fields[n], 10, 32)
-			if err != nil {
-				return nil, fmt.Errorf("tns: line %d: bad coordinate %q: %v", line, fields[n], err)
-			}
-			if u == 0 {
-				return nil, fmt.Errorf("tns: line %d: coordinates are 1-based, got 0", line)
-			}
-			i := Index(u - 1)
-			inds[n] = append(inds[n], i)
-			if i+1 > dims[n] {
-				dims[n] = i + 1
-			}
-		}
-		v, err := strconv.ParseFloat(fields[order], 32)
-		if err != nil {
-			return nil, fmt.Errorf("tns: line %d: bad value %q: %v", line, fields[order], err)
-		}
-		vals = append(vals, Value(v))
-	}
-	if err := sc.Err(); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return nil, fmt.Errorf("tns: %v", err)
 	}
-	if order == 0 {
-		return nil, fmt.Errorf("tns: empty input")
-	}
-	return &COO{Dims: dims, Inds: inds, Vals: vals}, nil
+	return ParseTNS(data)
 }
 
 // ReadTNSFile reads a .tns file from disk; files ending in ".gz" (the
 // form FROSTT distributes) are decompressed transparently.
 func ReadTNSFile(path string) (*COO, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
 	if strings.HasSuffix(path, ".gz") {
-		gz, err := gzip.NewReader(f)
+		gz, err := gzip.NewReader(bytes.NewReader(data))
 		if err != nil {
 			return nil, fmt.Errorf("tns: %s: %v", path, err)
 		}
-		defer gz.Close()
-		return ReadTNS(gz)
+		text, err := io.ReadAll(gz)
+		if err != nil {
+			return nil, fmt.Errorf("tns: %s: %v", path, err)
+		}
+		if err := gz.Close(); err != nil {
+			return nil, fmt.Errorf("tns: %s: %v", path, err)
+		}
+		return ParseTNS(text)
 	}
-	return ReadTNS(f)
+	return ParseTNS(data)
 }
 
 // WriteTNS emits the tensor in FROSTT .tns text format with 1-based
-// coordinates.
+// coordinates. Values are formatted with the shortest decimal string
+// that round-trips through float32 ('g', precision -1, bitSize 32), so
+// write→read reproduces every value bit-exactly; %g-style fixed
+// precision would truncate e.g. 0.30000001 to 0.3.
 func WriteTNS(w io.Writer, t *COO) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
+	line := make([]byte, 0, 64)
 	m := t.NNZ()
 	for x := 0; x < m; x++ {
+		line = line[:0]
 		for n := 0; n < t.Order(); n++ {
-			if _, err := fmt.Fprintf(bw, "%d ", t.Inds[n][x]+1); err != nil {
-				return err
-			}
+			line = strconv.AppendUint(line, uint64(t.Inds[n][x])+1, 10)
+			line = append(line, ' ')
 		}
-		if _, err := fmt.Fprintf(bw, "%g\n", t.Vals[x]); err != nil {
+		line = strconv.AppendFloat(line, float64(t.Vals[x]), 'g', -1, 32)
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
 			return err
 		}
 	}

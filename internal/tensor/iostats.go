@@ -1,0 +1,48 @@
+package tensor
+
+import (
+	"fmt"
+	"time"
+)
+
+// LoadStats reports the throughput of one tensor load, the ingest-side
+// counterpart of the kernel GFLOPS metrics: loader speed is a
+// first-class concern for sparse-tensor pipelines once inputs reach the
+// paper's 100M-non-zero scale.
+type LoadStats struct {
+	// Path is the file the tensor was loaded from.
+	Path string
+	// Format is the detected on-disk format: "pstb-v1", "pstb-v2",
+	// "tns", or "tns.gz".
+	Format string
+	// Bytes is the on-disk input size (compressed size for .tns.gz).
+	Bytes int64
+	// Order and NNZ describe the loaded tensor.
+	Order int
+	NNZ   int
+	// Elapsed is the wall time of the load, parsing included.
+	Elapsed time.Duration
+}
+
+// MBPerSec returns the load throughput in decimal megabytes per second.
+func (s LoadStats) MBPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) / 1e6 / s.Elapsed.Seconds()
+}
+
+// NNZPerSec returns the load throughput in non-zeros per second.
+func (s LoadStats) NNZPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.NNZ) / s.Elapsed.Seconds()
+}
+
+// String formats the stats as a one-line human-readable summary.
+func (s LoadStats) String() string {
+	return fmt.Sprintf("%s: %.2f MB, %d nnz in %v (%.1f MB/s, %.2fM nnz/s)",
+		s.Format, float64(s.Bytes)/1e6, s.NNZ,
+		s.Elapsed.Round(time.Microsecond), s.MBPerSec(), s.NNZPerSec()/1e6)
+}

@@ -49,6 +49,8 @@ type (
 	Device = gpusim.Device
 	// FiberStats summarizes a tensor's fiber-length distribution.
 	FiberStats = tensor.FiberStats
+	// LoadStats reports tensor-load throughput (bytes, nnz, elapsed).
+	LoadStats = tensor.LoadStats
 )
 
 // Kernel plan types: Prepare* performs the preprocessing stage (sorting,
@@ -135,12 +137,21 @@ var (
 	ReadTNS = tensor.ReadTNS
 	// ReadTNSFile reads a .tns file.
 	ReadTNSFile = tensor.ReadTNSFile
+	// ParseTNS parses in-memory .tns bytes, in parallel on large inputs.
+	ParseTNS = tensor.ParseTNS
 	// WriteTNS emits the FROSTT .tns text format.
 	WriteTNS = tensor.WriteTNS
 	// WriteTNSFile writes a .tns file.
 	WriteTNSFile = tensor.WriteTNSFile
+	// ReadBinary parses the PSTB binary format (v1 or v2).
+	ReadBinary = tensor.ReadBinary
+	// WriteBinary emits the checksummed PSTB v2 binary format.
+	WriteBinary = tensor.WriteBinary
 	// ReadTensorFile loads .bten / .tns / .tns.gz by extension.
 	ReadTensorFile = tensor.ReadFile
+	// ReadTensorFileStats loads like ReadTensorFile and also reports
+	// load throughput.
+	ReadTensorFileStats = tensor.ReadFileStats
 	// WriteTensorFile stores .bten / .tns / .tns.gz by extension.
 	WriteTensorFile = tensor.WriteFile
 	// ComputeFiberStats measures a tensor's mode-n fiber distribution.
