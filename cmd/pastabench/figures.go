@@ -26,6 +26,7 @@ type jsonRow struct {
 	Efficiency float64 `json:"efficiency"`
 	Source     string  `json:"source"`             // "modeled" | "measured"
 	Strategy   string  `json:"strategy,omitempty"` // reduction strategy of measured reduction kernels
+	Outcome    string  `json:"outcome,omitempty"`  // resilience outcome summary of guarded measured rows
 }
 
 // jsonFigure is the -json document for one figure.
@@ -182,12 +183,17 @@ func runFigure(o options, fig, platName string) {
 			fmt.Println()
 			if host != nil {
 				fmt.Printf("%-5s %-9s", "", "(host)")
-				var strategies []string
+				var strategies, outcomes []string
 				for _, k := range roofline.Kernels {
 					mc, errC := metrics.MeasureHost(host, x, k, roofline.COO, cfg)
 					mh, errH := metrics.MeasureHost(host, x, k, roofline.HiCOO, cfg)
 					if errC != nil || errH != nil {
 						fmt.Printf(" |%10s %10s", "err", "err")
+						for _, err := range []error{errC, errH} {
+							if err != nil {
+								fmt.Fprintf(os.Stderr, "pastabench: %s %s: %v\n", e.ID, k, err)
+							}
+						}
 						continue
 					}
 					fmt.Printf(" |%10.2f %10.2f", mc.GFLOPS, mh.GFLOPS)
@@ -201,14 +207,23 @@ func runFigure(o options, fig, platName string) {
 							Kernel: k.String(), Format: r.Format.String(),
 							GFLOPS: r.GFLOPS, Roofline: r.Roofline,
 							Efficiency: r.Efficiency, Source: r.Source.String(),
-							Strategy: r.Strategy,
+							Strategy: r.Strategy, Outcome: r.Outcome,
 						})
 					}
 					if mc.Strategy != "" {
 						strategies = append(strategies, fmt.Sprintf("%s:%s/%s", k, mc.Strategy, mh.Strategy))
 					}
+					// Surface any degraded trial so a guarded sweep cannot
+					// silently present fallback or timed-out numbers as clean.
+					if (mc.Outcome != "" && mc.Outcome != "ok") || (mh.Outcome != "" && mh.Outcome != "ok") {
+						outcomes = append(outcomes, fmt.Sprintf("%s:%s/%s", k, mc.Outcome, mh.Outcome))
+					}
 				}
-				fmt.Printf(" | measured %v\n", strategies)
+				fmt.Printf(" | measured %v", strategies)
+				if len(outcomes) > 0 {
+					fmt.Printf(" outcomes %v", outcomes)
+				}
+				fmt.Println()
 			}
 		}
 	}

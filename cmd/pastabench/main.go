@@ -11,6 +11,10 @@
 //	pastabench -exp table1,fig4       # selected experiments
 //	pastabench -exp fig4 -measure-host # add host-measured rows
 //	pastabench -exp fig4 -nnz 200000   # larger stand-ins
+//
+// Host measurement can run guarded by the fault-tolerant execution
+// runtime (-timeout, -fallback, -chaos-seed); see README.md and
+// DESIGN.md §9.
 package main
 
 import (
@@ -18,6 +22,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
+
+	"repro/internal/hicoo"
 )
 
 type options struct {
@@ -31,6 +38,9 @@ type options struct {
 	paperScale  bool
 	plot        bool
 	jsonDir     string
+	timeout     time.Duration
+	fallback    bool
+	chaosSeed   int64
 }
 
 func main() {
@@ -48,7 +58,23 @@ func main() {
 	flag.BoolVar(&o.paperScale, "paper-scale", true, "scale modeled workloads to the Table 2/3 paper sizes (structure measured on stand-ins)")
 	flag.BoolVar(&o.plot, "plot", false, "render figures 4-7 as ASCII bar charts after the tables")
 	flag.StringVar(&o.jsonDir, "json", "", "also write each figure's series as JSON into this directory")
+	flag.DurationVar(&o.timeout, "timeout", 0, "deadline per guarded host-measurement trial, e.g. 30s (0 disables)")
+	flag.BoolVar(&o.fallback, "fallback", false, "degrade a faulting OMP measurement to the serial backend instead of failing")
+	flag.Int64Var(&o.chaosSeed, "chaos-seed", 0, "non-zero: inject deterministic faults into host measurement (fault drill)")
 	flag.Parse()
+
+	if o.r < 1 {
+		fmt.Fprintf(os.Stderr, "pastabench: -r must be >= 1 (got %d)\n", o.r)
+		os.Exit(2)
+	}
+	if o.runs < 1 {
+		fmt.Fprintf(os.Stderr, "pastabench: -runs must be >= 1 (got %d)\n", o.runs)
+		os.Exit(2)
+	}
+	if o.blockBits < 1 || o.blockBits > hicoo.MaxBlockBits {
+		fmt.Fprintf(os.Stderr, "pastabench: -blockbits must be in [1,%d] (got %d)\n", hicoo.MaxBlockBits, o.blockBits)
+		os.Exit(2)
+	}
 
 	known := map[string]func(options){
 		"table1":       runTable1,

@@ -103,6 +103,9 @@ func benchConfig(o options) metrics.Config {
 	cfg.R = o.r
 	cfg.BlockBits = uint8(o.blockBits)
 	cfg.Runs = o.runs
+	cfg.Timeout = o.timeout
+	cfg.Fallback = o.fallback
+	cfg.ChaosSeed = o.chaosSeed
 	return cfg
 }
 

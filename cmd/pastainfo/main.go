@@ -34,6 +34,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if *blockBits < 1 || *blockBits > hicoo.MaxBlockBits {
+		fmt.Fprintf(os.Stderr, "pastainfo: -blockbits must be in [1,%d] (got %d)\n", hicoo.MaxBlockBits, *blockBits)
+		os.Exit(2)
+	}
+
 	var (
 		x     *tensor.COO
 		stats tensor.LoadStats
@@ -42,6 +47,9 @@ func main() {
 	switch {
 	case *file != "":
 		x, stats, err = tensor.ReadFileStats(*file)
+		if err == nil {
+			err = x.Validate()
+		}
 	case *id != "":
 		var e dataset.Entry
 		e, err = dataset.ByID(*id)

@@ -10,11 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/csf"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/hicoo"
 	"repro/internal/parallel"
+	"repro/internal/resilience"
 	"repro/internal/tensor"
 )
 
@@ -29,10 +32,11 @@ var failures int
 
 func main() {
 	var (
-		nnz  = flag.Int("nnz", 20000, "non-zeros per generated test tensor")
-		seed = flag.Int64("seed", 1, "generator seed")
-		tol  = flag.Float64("tol", 2e-3, "relative tolerance between implementations")
-		file = flag.String("f", "", "also verify against a user-supplied tensor file (.tns, .tns.gz, or .bten)")
+		nnz     = flag.Int("nnz", 20000, "non-zeros per generated test tensor")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		tol     = flag.Float64("tol", 2e-3, "relative tolerance between implementations")
+		file    = flag.String("f", "", "also verify against a user-supplied tensor file (.tns, .tns.gz, or .bten)")
+		timeout = flag.Duration("timeout", 0, "deadline per verification case, e.g. 2m (0 = none)")
 	)
 	flag.Parse()
 
@@ -65,17 +69,17 @@ func main() {
 	if *file != "" {
 		x, stats, err := tensor.ReadFileStats(*file)
 		must(err)
+		must(x.Validate())
 		fmt.Printf("loaded %v\n", stats)
 		cases = append(cases, tc{*file, x})
 	}
 
 	dev := gpusim.NewDevice("verify", 0)
 	devs := []*gpusim.Device{gpusim.NewDevice("v0", 4), gpusim.NewDevice("v1", 4)}
-	opt := parallel.Options{Schedule: parallel.Dynamic}
 
 	for _, c := range cases {
 		fmt.Printf("== %s: %v\n", c.name, c.x)
-		verifyTensor(c.x, dev, devs, opt, *tol, rng)
+		runCase(c.name, c.x, dev, devs, *tol, *timeout, rng)
 		fmt.Println()
 	}
 	if failures > 0 {
@@ -83,6 +87,42 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("all implementations agree")
+}
+
+// runCase executes one tensor's cross-validation under resilience
+// containment: a panic or a blown deadline anywhere in the case counts
+// as a verification failure instead of killing the whole self-check.
+func runCase(name string, x *tensor.COO, dev *gpusim.Device, devs []*gpusim.Device, tol float64, timeout time.Duration, rng *rand.Rand) {
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	defer cancel()
+	// Thread the deadline through both substrates so a timed-out case
+	// settles cooperatively instead of running to completion unobserved.
+	opt := parallel.Options{Schedule: parallel.Dynamic, Ctx: ctx}
+	for _, d := range append([]*gpusim.Device{dev}, devs...) {
+		d.SetContext(ctx)
+		defer d.SetContext(nil)
+	}
+	err, settled := resilience.Exec(ctx, resilience.Label{Kernel: "verify", Format: name, Backend: "host"},
+		func(ctx context.Context) error {
+			verifyTensor(x, dev, devs, opt, tol, rng)
+			return nil
+		})
+	if err != nil {
+		failures++
+		fmt.Printf("  case FAILED: %v\n", err)
+	}
+	// The abandoned goroutine shares rng and the devices with the next
+	// case; it must settle before the loop continues.
+	select {
+	case <-settled:
+	case <-time.After(30 * time.Second):
+		fmt.Fprintln(os.Stderr, "pastaverify: abandoned case still running after grace period; aborting")
+		os.Exit(1)
+	}
 }
 
 func verifyTensor(x *tensor.COO, dev *gpusim.Device, devs []*gpusim.Device, opt parallel.Options, tol float64, rng *rand.Rand) {
@@ -96,20 +136,20 @@ func verifyTensor(x *tensor.COO, dev *gpusim.Device, devs []*gpusim.Device, opt 
 	}
 	hy := hicoo.FromCOO(y, hicoo.DefaultBlockBits)
 	tp, err := core.PrepareTew(x, y, core.Add)
-	must(err)
+	need(err)
 	ref := append([]tensor.Value(nil), tp.ExecuteSeq().Vals...)
 	tp.ExecuteOMP(opt)
 	report("Tew", "omp-vs-seq", sliceDev(ref, tp.Out.Vals), tol)
 	tp.ExecuteGPU(dev)
 	report("Tew", "gpu-vs-seq", sliceDev(ref, tp.Out.Vals), tol)
 	hp, err := core.PrepareTewHiCOO(h, hy, core.Add)
-	must(err)
+	need(err)
 	hz := hp.ExecuteSeq()
 	report("Tew", "hicoo-vs-coo", mapDev(cooMap(tp.Out), cooMap(hz.ToCOO())), tol)
 
 	// ---- Ts -------------------------------------------------------------
 	sp, err := core.PrepareTs(x, 1.37, core.Mul)
-	must(err)
+	need(err)
 	refTs := append([]tensor.Value(nil), sp.ExecuteSeq().Vals...)
 	sp.ExecuteOMP(opt)
 	report("Ts", "omp-vs-seq", sliceDev(refTs, sp.Out.Vals), tol)
@@ -120,23 +160,23 @@ func verifyTensor(x *tensor.COO, dev *gpusim.Device, devs []*gpusim.Device, opt 
 	for mode := 0; mode < x.Order(); mode++ {
 		v := tensor.RandomVector(int(x.Dims[mode]), rng)
 		p, err := core.PrepareTtv(x, mode)
-		must(err)
+		need(err)
 		seq, err := p.ExecuteSeq(v)
-		must(err)
+		need(err)
 		refV := append([]tensor.Value(nil), seq.Vals...)
 		_, err = p.ExecuteOMP(v, opt)
-		must(err)
+		need(err)
 		report("Ttv", fmt.Sprintf("omp-vs-seq m%d", mode), sliceDev(refV, p.Out.Vals), tol)
 		_, err = p.ExecuteGPU(dev, v)
-		must(err)
+		need(err)
 		report("Ttv", fmt.Sprintf("gpu-vs-seq m%d", mode), sliceDev(refV, p.Out.Vals), tol)
 		_, err = p.ExecuteMultiGPU(devs, v)
-		must(err)
+		need(err)
 		report("Ttv", fmt.Sprintf("multigpu m%d", mode), sliceDev(refV, p.Out.Vals), tol)
 		hpv, err := core.PrepareTtvHiCOO(x, mode, hicoo.DefaultBlockBits)
-		must(err)
+		need(err)
 		hv, err := hpv.ExecuteSeq(v)
-		must(err)
+		need(err)
 		report("Ttv", fmt.Sprintf("hicoo-vs-coo m%d", mode), mapDev(cooMap(seq), cooMap(hv.ToCOO())), tol)
 		// CSF leaf-mode Ttv.
 		mo := []int{}
@@ -146,9 +186,9 @@ func verifyTensor(x *tensor.COO, dev *gpusim.Device, devs []*gpusim.Device, opt 
 			}
 		}
 		cs, err := csf.FromCOO(x, append(mo, mode))
-		must(err)
+		need(err)
 		cv, err := cs.TtvLeaf(v, opt)
-		must(err)
+		need(err)
 		report("Ttv", fmt.Sprintf("csf-vs-coo m%d", mode), mapDev(cooMap(seq), cooMap(cv)), tol)
 	}
 
@@ -156,20 +196,20 @@ func verifyTensor(x *tensor.COO, dev *gpusim.Device, devs []*gpusim.Device, opt 
 	u := tensor.NewMatrix(int(x.Dims[0]), r)
 	u.Randomize(rng)
 	mp, err := core.PrepareTtm(x, 0, r)
-	must(err)
+	need(err)
 	seqM, err := mp.ExecuteSeq(u)
-	must(err)
+	need(err)
 	refM := append([]tensor.Value(nil), seqM.Vals...)
 	_, err = mp.ExecuteOMP(u, opt)
-	must(err)
+	need(err)
 	report("Ttm", "omp-vs-seq", sliceDev(refM, mp.Out.Vals), tol)
 	_, err = mp.ExecuteGPU(dev, u)
-	must(err)
+	need(err)
 	report("Ttm", "gpu-vs-seq", sliceDev(refM, mp.Out.Vals), tol)
 	hm, err := core.PrepareTtmHiCOO(x, 0, r, hicoo.DefaultBlockBits)
-	must(err)
+	need(err)
 	hmOut, err := hm.ExecuteSeq(u)
-	must(err)
+	need(err)
 	report("Ttm", "hicoo-vs-coo", mapDev(cooMap(seqM.ToCOO()), cooMap(hmOut.ToSemiCOO().ToCOO())), tol)
 
 	// ---- Mttkrp (mode 0) ----------------------------------------------------
@@ -179,34 +219,34 @@ func verifyTensor(x *tensor.COO, dev *gpusim.Device, devs []*gpusim.Device, opt 
 		mats[n].Randomize(rng)
 	}
 	kp, err := core.PrepareMttkrp(x, 0, r)
-	must(err)
+	need(err)
 	seqK, err := kp.ExecuteSeq(mats)
-	must(err)
+	need(err)
 	refK := append([]tensor.Value(nil), seqK.Data...)
 	_, err = kp.ExecuteOMP(mats, opt)
-	must(err)
+	need(err)
 	report("Mttkrp", "omp-atomic", sliceDev(refK, kp.Out.Data), tol)
 	_, err = kp.ExecuteOMPPrivatized(mats, opt)
-	must(err)
+	need(err)
 	report("Mttkrp", "omp-privatized", sliceDev(refK, kp.Out.Data), tol)
 	_, err = kp.ExecuteGPU(dev, mats)
-	must(err)
+	need(err)
 	report("Mttkrp", "gpu", sliceDev(refK, kp.Out.Data), tol)
 	_, err = kp.ExecuteMultiGPU(devs, mats)
-	must(err)
+	need(err)
 	report("Mttkrp", "multigpu", sliceDev(refK, kp.Out.Data), tol)
 	hk, err := core.PrepareMttkrpHiCOO(h, 0, r)
-	must(err)
+	need(err)
 	hkOut, err := hk.ExecuteSeq(mats)
-	must(err)
+	need(err)
 	report("Mttkrp", "hicoo", sliceDev(refK, hkOut.Data), tol)
 	cs, err := csf.FromCOO(x, nil)
-	must(err)
+	need(err)
 	csOut, err := cs.MttkrpRoot(mats, opt)
-	must(err)
+	need(err)
 	report("Mttkrp", "csf-root", sliceDev(refK, csOut.Data), tol)
 	bOut, err := cs.MttkrpRootBalanced(mats, opt, 0)
-	must(err)
+	need(err)
 	report("Mttkrp", "bcsf-balanced", sliceDev(refK, bOut.Data), tol)
 }
 
@@ -269,9 +309,20 @@ func report(kernel, check string, dev, tol float64) {
 	fmt.Printf("  %-7s %-22s max rel dev %.2e  [%s]\n", kernel, check, dev, status)
 }
 
+// must aborts the whole program: only for setup (generation, file load)
+// that no verification case can proceed without.
 func must(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// need aborts the current verification case by panicking; runCase's
+// resilience containment converts it into a counted failure instead of
+// a process exit.
+func need(err error) {
+	if err != nil {
+		panic(err)
 	}
 }

@@ -89,16 +89,20 @@ func (p *MttkrpPlan) ExecuteOMP(mats []*tensor.Matrix, opt parallel.Options) (*t
 	p.LastStrategy = st
 	opt.Threads = threads
 	if st == parallel.Privatized {
-		privatizedReduce(m, threads, opt, p.Out.Data, func(lo, hi int, priv []tensor.Value) {
+		if err := privatizedReduce(m, threads, opt, p.Out.Data, func(lo, hi int, priv []tensor.Value) {
 			p.executeRange(lo, hi, mats, priv, false)
-		})
+		}); err != nil {
+			return nil, err
+		}
 		return p.Out, nil
 	}
 	p.Out.Zero()
 	atomicUpd := threads > 1
-	parallel.For(m, opt, func(lo, hi, _ int) {
+	if err := parallel.For(m, opt, func(lo, hi, _ int) {
 		p.executeRange(lo, hi, mats, p.Out.Data, atomicUpd)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return p.Out, nil
 }
 
@@ -139,7 +143,7 @@ func (p *MttkrpPlan) ExecuteGPU(dev *gpusim.Device, mats []*tensor.Matrix) (*ten
 		m1, m2 := otherTwoModes(p.Mode)
 		bInd, cInd := p.X.Inds[m1], p.X.Inds[m2]
 		bd, cd := mats[m1].Data, mats[m2].Data
-		dev.Launch(grid, block, func(ctx gpusim.Ctx) {
+		if _, err := dev.TryLaunch(grid, block, func(ctx gpusim.Ctx) {
 			x := ctx.BlockIdx.X*ctx.BlockDim.Y + ctx.ThreadIdx.Y
 			if x >= m {
 				return
@@ -147,11 +151,13 @@ func (p *MttkrpPlan) ExecuteGPU(dev *gpusim.Device, mats []*tensor.Matrix) (*ten
 			col := ctx.ThreadIdx.X
 			v := xv[x] * bd[int(bInd[x])*r+col] * cd[int(cInd[x])*r+col]
 			gpusim.AtomicAdd(&out[int(nInd[x])*r+col], v)
-		})
+		}); err != nil {
+			return nil, err
+		}
 		return p.Out, nil
 	}
 
-	dev.Launch(grid, block, func(ctx gpusim.Ctx) {
+	if _, err := dev.TryLaunch(grid, block, func(ctx gpusim.Ctx) {
 		x := ctx.BlockIdx.X*ctx.BlockDim.Y + ctx.ThreadIdx.Y
 		if x >= m {
 			return
@@ -165,7 +171,9 @@ func (p *MttkrpPlan) ExecuteGPU(dev *gpusim.Device, mats []*tensor.Matrix) (*ten
 			v *= mats[mo].Data[int(p.X.Inds[mo][x])*r+col]
 		}
 		gpusim.AtomicAdd(&out[int(nInd[x])*r+col], v)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return p.Out, nil
 }
 

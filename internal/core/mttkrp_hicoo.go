@@ -88,16 +88,20 @@ func (p *MttkrpHiCOOPlan) ExecuteOMP(mats []*tensor.Matrix, opt parallel.Options
 	p.LastStrategy = st
 	opt.Threads = threads
 	if st == parallel.Privatized {
-		privatizedReduce(nb, threads, opt, p.Out.Data, func(lo, hi int, priv []tensor.Value) {
+		if err := privatizedReduce(nb, threads, opt, p.Out.Data, func(lo, hi int, priv []tensor.Value) {
 			p.executeBlocks(lo, hi, mats, priv, false)
-		})
+		}); err != nil {
+			return nil, err
+		}
 		return p.Out, nil
 	}
 	p.Out.Zero()
 	atomicUpd := threads > 1
-	parallel.For(nb, opt, func(lo, hi, _ int) {
+	if err := parallel.For(nb, opt, func(lo, hi, _ int) {
 		p.executeBlocks(lo, hi, mats, p.Out.Data, atomicUpd)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return p.Out, nil
 }
 
@@ -128,7 +132,7 @@ func (p *MttkrpHiCOOPlan) ExecuteGPU(dev *gpusim.Device, mats []*tensor.Matrix) 
 	xv := h.Vals
 	order := h.Order()
 	mode := p.Mode
-	dev.Launch(grid, block, func(ctx gpusim.Ctx) {
+	if _, err := dev.TryLaunch(grid, block, func(ctx gpusim.Ctx) {
 		b := ctx.BlockIdx.X
 		col := ctx.ThreadIdx.X
 		outBase := int(h.BInds[mode][b]) << bits
@@ -144,7 +148,9 @@ func (p *MttkrpHiCOOPlan) ExecuteGPU(dev *gpusim.Device, mats []*tensor.Matrix) 
 			oi := (outBase + int(h.EInds[mode][x])) * r
 			gpusim.AtomicAdd(&out[oi+col], v)
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return p.Out, nil
 }
 

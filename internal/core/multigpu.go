@@ -32,7 +32,11 @@ func (p *TtvPlan) ExecuteMultiGPU(devs []*gpusim.Device, v tensor.Vector) (*tens
 	xv := p.X.Vals
 	yv := p.Out.Vals
 
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
 	nd := len(devs)
 	wg.Add(nd)
 	for d := 0; d < nd; d++ {
@@ -46,7 +50,7 @@ func (p *TtvPlan) ExecuteMultiGPU(devs []*gpusim.Device, v tensor.Vector) (*tens
 			}
 			block := gpusim.Dim1(gpusim.DefaultBlockThreads)
 			grid := gpusim.Grid1DFor(n, block.X)
-			dev.Launch(grid, block, func(ctx gpusim.Ctx) {
+			if _, err := dev.TryLaunch(grid, block, func(ctx gpusim.Ctx) {
 				f := lo + ctx.GlobalX()
 				if f >= hi {
 					return
@@ -56,10 +60,19 @@ func (p *TtvPlan) ExecuteMultiGPU(devs []*gpusim.Device, v tensor.Vector) (*tens
 					acc += xv[m] * v[kInd[m]]
 				}
 				yv[f] = acc
-			})
+			}); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
 		}(devs[d], lo, hi)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	return p.Out, nil
 }
 
@@ -87,7 +100,11 @@ func (p *MttkrpPlan) ExecuteMultiGPU(devs []*gpusim.Device, mats []*tensor.Matri
 	order := p.X.Order()
 	mode := p.Mode
 
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
 	wg.Add(nd)
 	for d := 0; d < nd; d++ {
 		lo := d * m / nd
@@ -104,7 +121,7 @@ func (p *MttkrpPlan) ExecuteMultiGPU(devs []*gpusim.Device, mats []*tensor.Matri
 			}
 			block := gpusim.Dim2(r, ny)
 			grid := gpusim.Grid1DFor(n, ny)
-			dev.Launch(grid, block, func(ctx gpusim.Ctx) {
+			if _, err := dev.TryLaunch(grid, block, func(ctx gpusim.Ctx) {
 				x := lo + ctx.BlockIdx.X*ctx.BlockDim.Y + ctx.ThreadIdx.Y
 				if x >= hi {
 					return
@@ -118,10 +135,19 @@ func (p *MttkrpPlan) ExecuteMultiGPU(devs []*gpusim.Device, mats []*tensor.Matri
 					v *= mats[mo].Data[int(p.X.Inds[mo][x])*r+col]
 				}
 				gpusim.AtomicAdd(&out[int(nInd[x])*r+col], v)
-			})
+			}); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
 		}(devs[d], priv[d].Data, lo, hi)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 
 	// Host-side reduction of the device-private outputs.
 	p.Out.Zero()

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
@@ -31,22 +33,27 @@ func planReduction(opt parallel.Options, loopN, outElems, updates, ownerUnits in
 // privatizedReduce runs body over [0, n) with each worker accumulating
 // into a pooled private copy of out, then merges the copies into out in
 // parallel. The privates arrive zeroed and go back to the shared
-// workspace afterwards, so steady-state calls allocate no scratch.
-func privatizedReduce(n, threads int, opt parallel.Options, out []tensor.Value, body func(lo, hi int, priv []tensor.Value)) {
+// workspace afterwards, so steady-state calls allocate no scratch. A
+// cancelled loop (Options.Ctx) skips the merge — the privates hold
+// partial sums — and surfaces ErrDeadline to the kernel.
+func privatizedReduce(n, threads int, opt parallel.Options, out []tensor.Value, body func(lo, hi int, priv []tensor.Value)) error {
 	ws := parallel.SharedWorkspace()
 	set := ws.Set(threads, len(out))
 	opt.Threads = threads
-	parallel.For(n, opt, func(lo, hi, w int) {
+	err := parallel.For(n, opt, func(lo, hi, w int) {
 		body(lo, hi, set.Bufs[w])
 	})
-	mergePrivates(out, set.Bufs, threads)
+	if err == nil {
+		err = mergePrivates(out, set.Bufs, threads, opt.Ctx)
+	}
 	ws.PutSet(set)
+	return err
 }
 
 // mergePrivates overwrites out with the element-wise sum of the private
 // copies, parallelized over the output.
-func mergePrivates(out []tensor.Value, privs [][]float32, threads int) {
-	parallel.For(len(out), parallel.Options{Schedule: parallel.Static, Threads: threads}, func(lo, hi, _ int) {
+func mergePrivates(out []tensor.Value, privs [][]float32, threads int, ctx context.Context) error {
+	return parallel.For(len(out), parallel.Options{Schedule: parallel.Static, Threads: threads, Ctx: ctx}, func(lo, hi, _ int) {
 		copy(out[lo:hi], privs[0][lo:hi])
 		for _, p := range privs[1:] {
 			src := p[lo:hi]
@@ -60,8 +67,8 @@ func mergePrivates(out []tensor.Value, privs [][]float32, threads int) {
 
 // zeroValues zeroes out in parallel (the atomic strategy's preamble for
 // scatter-accumulated outputs).
-func zeroValues(out []tensor.Value, threads int) {
-	parallel.For(len(out), parallel.Options{Schedule: parallel.Static, Threads: threads}, func(lo, hi, _ int) {
+func zeroValues(out []tensor.Value, threads int, ctx context.Context) error {
+	return parallel.For(len(out), parallel.Options{Schedule: parallel.Static, Threads: threads, Ctx: ctx}, func(lo, hi, _ int) {
 		dst := out[lo:hi]
 		for i := range dst {
 			dst[i] = 0

@@ -93,29 +93,40 @@ func (p *TtmPlan) ExecuteOMP(u *tensor.Matrix, opt parallel.Options) (*tensor.Se
 	p.LastStrategy = st
 	switch st {
 	case parallel.Owner:
-		parallel.For(mf, opt, func(lo, hi, _ int) {
+		if err := parallel.For(mf, opt, func(lo, hi, _ int) {
 			p.executeFibers(lo, hi, u)
-		})
+		}); err != nil {
+			return nil, err
+		}
 	case parallel.Privatized:
-		privatizedReduce(m, threads, opt, p.Out.Vals, func(lo, hi int, priv []tensor.Value) {
+		if err := privatizedReduce(m, threads, opt, p.Out.Vals, func(lo, hi int, priv []tensor.Value) {
 			p.executeNNZ(lo, hi, u, priv, nil)
-		})
+		}); err != nil {
+			return nil, err
+		}
 	default: // Atomic
-		zeroValues(p.Out.Vals, threads)
+		if err := zeroValues(p.Out.Vals, threads, opt.Ctx); err != nil {
+			return nil, err
+		}
 		opt.Threads = threads
 		if threads > 1 {
 			// Per-worker R-wide segment accumulators from the pool: each
 			// contiguous fiber segment flushes its row once, atomically.
 			ws := parallel.SharedWorkspace()
 			acc := ws.Set(threads, p.R)
-			parallel.For(m, opt, func(lo, hi, w int) {
+			err := parallel.For(m, opt, func(lo, hi, w int) {
 				p.executeNNZ(lo, hi, u, p.Out.Vals, acc.Bufs[w])
 			})
 			ws.PutSet(acc)
+			if err != nil {
+				return nil, err
+			}
 		} else {
-			parallel.For(m, opt, func(lo, hi, _ int) {
+			if err := parallel.For(m, opt, func(lo, hi, _ int) {
 				p.executeNNZ(lo, hi, u, p.Out.Vals, nil)
-			})
+			}); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return p.Out, nil
@@ -198,7 +209,7 @@ func (p *TtmPlan) ExecuteGPU(dev *gpusim.Device, u *tensor.Matrix) (*tensor.Semi
 	for i := range out {
 		out[i] = 0
 	}
-	dev.Launch(grid, block, func(ctx gpusim.Ctx) {
+	if _, err := dev.TryLaunch(grid, block, func(ctx gpusim.Ctx) {
 		f := ctx.BlockIdx.X
 		col := ctx.ThreadIdx.X
 		var acc tensor.Value
@@ -208,7 +219,9 @@ func (p *TtmPlan) ExecuteGPU(dev *gpusim.Device, u *tensor.Matrix) (*tensor.Semi
 		if acc != 0 {
 			gpusim.AtomicAdd(&out[f*r+col], acc)
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return p.Out, nil
 }
 

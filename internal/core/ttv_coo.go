@@ -99,20 +99,28 @@ func (p *TtvPlan) ExecuteOMP(v tensor.Vector, opt parallel.Options) (*tensor.COO
 	p.LastStrategy = st
 	switch st {
 	case parallel.Owner:
-		parallel.For(mf, opt, func(lo, hi, _ int) {
+		if err := parallel.For(mf, opt, func(lo, hi, _ int) {
 			p.executeFibers(lo, hi, v)
-		})
+		}); err != nil {
+			return nil, err
+		}
 	case parallel.Privatized:
-		privatizedReduce(m, threads, opt, p.Out.Vals, func(lo, hi int, priv []tensor.Value) {
+		if err := privatizedReduce(m, threads, opt, p.Out.Vals, func(lo, hi int, priv []tensor.Value) {
 			p.executeNNZ(lo, hi, v, priv, false)
-		})
+		}); err != nil {
+			return nil, err
+		}
 	default: // Atomic
-		zeroValues(p.Out.Vals, threads)
+		if err := zeroValues(p.Out.Vals, threads, opt.Ctx); err != nil {
+			return nil, err
+		}
 		opt.Threads = threads
 		atomicUpd := threads > 1
-		parallel.For(m, opt, func(lo, hi, _ int) {
+		if err := parallel.For(m, opt, func(lo, hi, _ int) {
 			p.executeNNZ(lo, hi, v, p.Out.Vals, atomicUpd)
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return p.Out, nil
 }
@@ -163,7 +171,7 @@ func (p *TtvPlan) ExecuteGPU(dev *gpusim.Device, v tensor.Vector) (*tensor.COO, 
 	kInd := p.X.Inds[p.Mode]
 	xv := p.X.Vals
 	yv := p.Out.Vals
-	dev.Launch(grid, block, func(ctx gpusim.Ctx) {
+	if _, err := dev.TryLaunch(grid, block, func(ctx gpusim.Ctx) {
 		f := ctx.GlobalX()
 		if f >= mf {
 			return
@@ -173,7 +181,9 @@ func (p *TtvPlan) ExecuteGPU(dev *gpusim.Device, v tensor.Vector) (*tensor.COO, 
 			acc += xv[m] * v[kInd[m]]
 		}
 		yv[f] = acc
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return p.Out, nil
 }
 

@@ -108,20 +108,28 @@ func (p *TtvHiCOOPlan) ExecuteOMP(v tensor.Vector, opt parallel.Options) (*hicoo
 	p.LastStrategy = st
 	switch st {
 	case parallel.Owner:
-		parallel.For(mf, opt, func(lo, hi, _ int) {
+		if err := parallel.For(mf, opt, func(lo, hi, _ int) {
 			p.executeFibers(lo, hi, v)
-		})
+		}); err != nil {
+			return nil, err
+		}
 	case parallel.Privatized:
-		privatizedReduce(m, threads, opt, p.Out.Vals, func(lo, hi int, priv []tensor.Value) {
+		if err := privatizedReduce(m, threads, opt, p.Out.Vals, func(lo, hi int, priv []tensor.Value) {
 			p.executeNNZ(lo, hi, v, priv, false)
-		})
+		}); err != nil {
+			return nil, err
+		}
 	default: // Atomic
-		zeroValues(p.Out.Vals, threads)
+		if err := zeroValues(p.Out.Vals, threads, opt.Ctx); err != nil {
+			return nil, err
+		}
 		opt.Threads = threads
 		atomicUpd := threads > 1
-		parallel.For(m, opt, func(lo, hi, _ int) {
+		if err := parallel.For(m, opt, func(lo, hi, _ int) {
 			p.executeNNZ(lo, hi, v, p.Out.Vals, atomicUpd)
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return p.Out, nil
 }
@@ -170,7 +178,7 @@ func (p *TtvHiCOOPlan) ExecuteGPU(dev *gpusim.Device, v tensor.Vector) (*hicoo.H
 	kInd := p.X.UInds[0]
 	xv := p.X.Vals
 	yv := p.Out.Vals
-	dev.Launch(grid, block, func(ctx gpusim.Ctx) {
+	if _, err := dev.TryLaunch(grid, block, func(ctx gpusim.Ctx) {
 		f := ctx.GlobalX()
 		if f >= mf {
 			return
@@ -180,7 +188,9 @@ func (p *TtvHiCOOPlan) ExecuteGPU(dev *gpusim.Device, v tensor.Vector) (*hicoo.H
 			acc += xv[m] * v[kInd[m]]
 		}
 		yv[f] = acc
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return p.Out, nil
 }
 

@@ -125,20 +125,28 @@ func (p *TtvSemiPlan) ExecuteOMP(v tensor.Vector, opt parallel.Options) (*tensor
 	p.LastStrategy = st
 	switch st {
 	case parallel.Owner:
-		parallel.For(nOut, opt, func(lo, hi, _ int) {
+		if err := parallel.For(nOut, opt, func(lo, hi, _ int) {
 			p.executeOutFibers(lo, hi, v)
-		})
+		}); err != nil {
+			return nil, err
+		}
 	case parallel.Privatized:
-		privatizedReduce(nf, threads, opt, p.Out.Vals, func(lo, hi int, priv []tensor.Value) {
+		if err := privatizedReduce(nf, threads, opt, p.Out.Vals, func(lo, hi int, priv []tensor.Value) {
 			p.executeInFibers(lo, hi, v, priv, false)
-		})
+		}); err != nil {
+			return nil, err
+		}
 	default: // Atomic
-		zeroValues(p.Out.Vals, threads)
+		if err := zeroValues(p.Out.Vals, threads, opt.Ctx); err != nil {
+			return nil, err
+		}
 		opt.Threads = threads
 		atomicUpd := threads > 1
-		parallel.For(nf, opt, func(lo, hi, _ int) {
+		if err := parallel.For(nf, opt, func(lo, hi, _ int) {
 			p.executeInFibers(lo, hi, v, p.Out.Vals, atomicUpd)
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return p.Out, nil
 }

@@ -178,7 +178,17 @@ func Materialize(e Entry, targetNNZ int, seed int64) (*tensor.COO, error) {
 		for _, suffix := range []string{".bten", ".tns", ".tns.gz"} {
 			path := filepath.Join(dir, e.Name+suffix)
 			if _, err := os.Stat(path); err == nil {
-				return tensor.ReadFile(path)
+				t, err := tensor.ReadFile(path)
+				if err != nil {
+					return nil, err
+				}
+				// A user-supplied file is untrusted input: structural or
+				// value corruption must surface here, not as a panic or
+				// NaN deep inside a kernel.
+				if err := t.Validate(); err != nil {
+					return nil, fmt.Errorf("dataset: %s: %w", path, err)
+				}
+				return t, nil
 			}
 		}
 	}

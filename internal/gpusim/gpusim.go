@@ -16,8 +16,10 @@
 package gpusim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -66,6 +68,17 @@ func (c Ctx) GlobalY() int { return c.BlockIdx.Y*c.BlockDim.Y + c.ThreadIdx.Y }
 // Kernel is the body executed once per thread.
 type Kernel func(ctx Ctx)
 
+// LaunchError reports an invalid launch geometry — the simulator's
+// cudaErrorInvalidConfiguration.
+type LaunchError struct {
+	Grid, Block Dim3
+	Reason      string
+}
+
+func (e *LaunchError) Error() string {
+	return fmt.Sprintf("gpusim: %s (grid=%+v block=%+v)", e.Reason, e.Grid, e.Block)
+}
+
 // Device is a simulated CUDA device. SMs bounds block-level concurrency
 // during simulation (capped by host cores).
 type Device struct {
@@ -77,6 +90,49 @@ type Device struct {
 	blocksLaunched  atomic.Int64
 	threadsLaunched atomic.Int64
 	kernelsLaunched atomic.Int64
+
+	// ctx, when attached, bounds every launch: block workers check it
+	// between blocks and an expired context aborts the launch with
+	// parallel.ErrDeadline (the device-side analogue of a stream
+	// timeout).
+	ctx atomic.Pointer[context.Context]
+	// launchHook/blockHook are fault-injection points: launchHook can
+	// fail a launch before any block runs, blockHook runs before each
+	// block (under panic containment).
+	launchHook atomic.Pointer[func() error]
+	blockHook  atomic.Pointer[func(block int)]
+}
+
+// SetContext attaches ctx to the device; every subsequent TryLaunch
+// checks it at block granularity and aborts with parallel.ErrDeadline
+// once it is done. SetContext(nil) detaches.
+func (d *Device) SetContext(ctx context.Context) {
+	if ctx == nil {
+		d.ctx.Store(nil)
+		return
+	}
+	d.ctx.Store(&ctx)
+}
+
+// SetLaunchHook installs h, consulted at the start of every launch; a
+// non-nil return fails the launch before any block runs (fault
+// injection). nil clears.
+func (d *Device) SetLaunchHook(h func() error) {
+	if h == nil {
+		d.launchHook.Store(nil)
+		return
+	}
+	d.launchHook.Store(&h)
+}
+
+// SetBlockHook installs h, invoked before each scheduled block with the
+// linear block id, under panic containment (fault injection). nil clears.
+func (d *Device) SetBlockHook(h func(block int)) {
+	if h == nil {
+		d.blockHook.Store(nil)
+		return
+	}
+	d.blockHook.Store(&h)
 }
 
 // NewDevice returns a device with the given SM count (0 selects the host
@@ -99,15 +155,50 @@ type LaunchStats struct {
 }
 
 // Launch executes the kernel over grid × block geometry and blocks until
-// every thread has run. It panics on invalid geometry, mirroring a CUDA
-// launch failure.
+// every thread has run. It panics on any launch error, mirroring an
+// unchecked CUDA launch; error-aware callers use TryLaunch.
 func (d *Device) Launch(grid, block Dim3, kernel Kernel) LaunchStats {
-	if grid.Count() <= 0 || block.Count() <= 0 {
-		panic(fmt.Sprintf("gpusim: invalid launch geometry grid=%+v block=%+v", grid, block))
+	st, err := d.TryLaunch(grid, block, kernel)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// TryLaunch is Launch with errors instead of panics: a typed
+// *LaunchError for invalid geometry, the launch hook's error for an
+// injected launch failure, a *parallel.WorkerPanic when a block worker
+// panicked (the launch fails, the process survives), and
+// parallel.ErrDeadline when the device context expired mid-grid. Device
+// counters only advance on a fully completed launch.
+func (d *Device) TryLaunch(grid, block Dim3, kernel Kernel) (LaunchStats, error) {
+	st := LaunchStats{Grid: grid, Block: block}
+	// A zero or negative X axis is an invalid launch (CUDA's
+	// cudaErrorInvalidConfiguration); zero Y/Z keep their documented
+	// treated-as-1 convenience for 1-D and 2-D geometries.
+	if grid.X <= 0 || grid.Y < 0 || grid.Z < 0 || block.X <= 0 || block.Y < 0 || block.Z < 0 {
+		return st, &LaunchError{Grid: grid, Block: block, Reason: "invalid launch geometry"}
 	}
 	if block.Count() > d.MaxThreadsPerBlock {
-		panic(fmt.Sprintf("gpusim: block of %d threads exceeds device limit %d", block.Count(), d.MaxThreadsPerBlock))
+		return st, &LaunchError{Grid: grid, Block: block,
+			Reason: fmt.Sprintf("block of %d threads exceeds device limit %d", block.Count(), d.MaxThreadsPerBlock)}
 	}
+	if p := d.launchHook.Load(); p != nil {
+		if err := (*p)(); err != nil {
+			return st, fmt.Errorf("gpusim: launch failed: %w", err)
+		}
+	}
+	var done <-chan struct{}
+	var ctx context.Context
+	if p := d.ctx.Load(); p != nil {
+		ctx = *p
+		done = ctx.Done()
+	}
+	var blockHook func(int)
+	if p := d.blockHook.Load(); p != nil {
+		blockHook = *p
+	}
+
 	nBlocks := grid.Count()
 	workers := d.SMs
 	if hc := runtime.GOMAXPROCS(0); workers > hc {
@@ -117,9 +208,14 @@ func (d *Device) Launch(grid, block Dim3, kernel Kernel) LaunchStats {
 		workers = nBlocks
 	}
 
-	var wg sync.WaitGroup
+	var (
+		wg    sync.WaitGroup
+		next  atomic.Int64
+		abort atomic.Bool
+		mu    sync.Mutex
+		wp    *parallel.WorkerPanic
+	)
 	wg.Add(workers)
-	var next atomic.Int64
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
@@ -128,17 +224,60 @@ func (d *Device) Launch(grid, block Dim3, kernel Kernel) LaunchStats {
 				if b >= nBlocks {
 					return
 				}
-				d.runBlock(grid, block, b, kernel)
+				if abort.Load() {
+					return
+				}
+				if done != nil {
+					select {
+					case <-done:
+						abort.Store(true)
+						return
+					default:
+					}
+				}
+				// Contain a panicking block (kernel bug, injected fault)
+				// per block so the first failure is recorded with its
+				// block id and the launch fails instead of the process.
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if wp == nil {
+								if inner, ok := r.(*parallel.WorkerPanic); ok {
+									wp = inner
+								} else {
+									wp = &parallel.WorkerPanic{Worker: b, Value: r, Stack: debug.Stack()}
+								}
+							}
+							mu.Unlock()
+							abort.Store(true)
+						}
+					}()
+					if blockHook != nil {
+						blockHook(b)
+					}
+					d.runBlock(grid, block, b, kernel)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
 
-	st := LaunchStats{Grid: grid, Block: block, Blocks: nBlocks, Threads: nBlocks * block.Count()}
+	mu.Lock()
+	failed := wp
+	mu.Unlock()
+	if failed != nil {
+		return st, failed
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return st, fmt.Errorf("gpusim: launch aborted mid-grid: %w", parallel.ErrDeadline)
+	}
+	st.Blocks = nBlocks
+	st.Threads = nBlocks * block.Count()
 	d.blocksLaunched.Add(int64(st.Blocks))
 	d.threadsLaunched.Add(int64(st.Threads))
 	d.kernelsLaunched.Add(1)
-	return st
+	return st, nil
 }
 
 // runBlock executes all threads of linear block b sequentially.

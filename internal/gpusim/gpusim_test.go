@@ -1,9 +1,13 @@
 package gpusim
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/parallel"
 )
 
 func TestDim3Count(t *testing.T) {
@@ -158,5 +162,115 @@ func TestGrid1DForEdgeCases(t *testing.T) {
 	}
 	if g := Grid1DFor(100, 0); g.X != 1 {
 		t.Fatalf("Grid1DFor default threads = %+v", g)
+	}
+}
+
+func TestTryLaunchRejectsBadGeometry(t *testing.T) {
+	dev := NewDevice("geom", 2)
+	cases := map[string]struct{ grid, block Dim3 }{
+		"zero grid":      {Dim3{}, Dim1(1)},
+		"negative grid":  {Dim1(-3), Dim1(1)},
+		"negative block": {Dim1(1), Dim3{X: -1, Y: 1, Z: 1}},
+		"zero block":     {Dim1(1), Dim3{X: 0, Y: 0, Z: 0}},
+		"block too big":  {Dim1(1), Dim1(4096)},
+	}
+	for name, c := range cases {
+		ran := false
+		_, err := dev.TryLaunch(c.grid, c.block, func(Ctx) { ran = true })
+		var le *LaunchError
+		if !errors.As(err, &le) {
+			t.Errorf("%s: err = %v, want *LaunchError", name, err)
+		}
+		if ran {
+			t.Errorf("%s: kernel ran despite invalid geometry", name)
+		}
+	}
+	// Dim3{} counts as 1 point per zeroed axis via Count(), but an
+	// all-zero grid is still a caller bug; make sure counters never
+	// advanced for any rejected launch.
+	if k, b, th := dev.Counters(); k != 0 || b != 0 || th != 0 {
+		t.Fatalf("counters advanced on rejected launches: %d,%d,%d", k, b, th)
+	}
+}
+
+func TestTryLaunchContainsWorkerPanic(t *testing.T) {
+	dev := NewDevice("panic", 4)
+	_, err := dev.TryLaunch(Dim1(64), Dim1(8), func(c Ctx) {
+		if c.BlockIdx.X == 13 {
+			panic("kernel bug in block 13")
+		}
+	})
+	var wp *parallel.WorkerPanic
+	if !errors.As(err, &wp) {
+		t.Fatalf("err = %v (%T), want *parallel.WorkerPanic", err, err)
+	}
+	if wp.Value != "kernel bug in block 13" {
+		t.Fatalf("panic value = %v", wp.Value)
+	}
+	if len(wp.Stack) == 0 {
+		t.Fatal("expected the block worker's stack")
+	}
+	if k, _, _ := dev.Counters(); k != 0 {
+		t.Fatalf("failed launch advanced kernel counter to %d", k)
+	}
+	// The device stays usable after a contained panic.
+	if _, err := dev.TryLaunch(Dim1(4), Dim1(4), func(Ctx) {}); err != nil {
+		t.Fatalf("follow-up launch failed: %v", err)
+	}
+}
+
+func TestTryLaunchDeadlineMidGrid(t *testing.T) {
+	dev := NewDevice("deadline", 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	dev.SetContext(ctx)
+	defer dev.SetContext(nil)
+
+	var ran atomic.Int64
+	_, err := dev.TryLaunch(Dim1(10000), Dim1(32), func(c Ctx) {
+		if ran.Add(1) == 5 {
+			cancel() // expire the device context mid-grid
+		}
+	})
+	if !errors.Is(err, parallel.ErrDeadline) {
+		t.Fatalf("err = %v, want parallel.ErrDeadline in chain", err)
+	}
+	if n := ran.Load(); n >= 10000*32 {
+		t.Fatalf("launch ran all %d threads despite cancellation", n)
+	}
+	if k, _, _ := dev.Counters(); k != 0 {
+		t.Fatal("aborted launch advanced the kernel counter")
+	}
+}
+
+func TestTryLaunchHookFailure(t *testing.T) {
+	dev := NewDevice("hook", 2)
+	injected := errors.New("injected launch failure")
+	dev.SetLaunchHook(func() error { return injected })
+	ran := false
+	_, err := dev.TryLaunch(Dim1(2), Dim1(2), func(Ctx) { ran = true })
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want the hook's error", err)
+	}
+	if ran {
+		t.Fatal("kernel ran despite a failed launch hook")
+	}
+	dev.SetLaunchHook(nil)
+	if _, err := dev.TryLaunch(Dim1(2), Dim1(2), func(Ctx) {}); err != nil {
+		t.Fatalf("launch after clearing hook: %v", err)
+	}
+}
+
+func TestBlockHookRunsUnderContainment(t *testing.T) {
+	dev := NewDevice("bhook", 2)
+	dev.SetBlockHook(func(b int) {
+		if b == 1 {
+			panic("hook fault")
+		}
+	})
+	defer dev.SetBlockHook(nil)
+	_, err := dev.TryLaunch(Dim1(4), Dim1(2), func(Ctx) {})
+	var wp *parallel.WorkerPanic
+	if !errors.As(err, &wp) {
+		t.Fatalf("err = %v, want *parallel.WorkerPanic from the hook", err)
 	}
 }

@@ -6,6 +6,7 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
+	"repro/internal/resilience"
 	"repro/internal/roofline"
 	"repro/internal/tensor"
 )
@@ -48,6 +50,17 @@ type Config struct {
 	Runs int
 	// Sched is the OpenMP scheduling policy for host measurement.
 	Sched parallel.Options
+	// Timeout bounds each guarded measurement trial (all retries and
+	// fallback rungs); zero disables deadlines.
+	Timeout time.Duration
+	// Fallback adds a serial rung below the OMP backend so a faulting
+	// parallel run degrades to a slower, correct result instead of
+	// failing the measurement.
+	Fallback bool
+	// ChaosSeed, when non-zero, installs the deterministic fault
+	// injector for the duration of the measurement, arming a random
+	// fault per trial from this seed (fault drills for the ladder).
+	ChaosSeed int64
 }
 
 // DefaultConfig returns the paper's experiment configuration.
@@ -91,29 +104,56 @@ type Result struct {
 	// ablation output must not pretend the last mode's choice covered
 	// the whole measurement.
 	Strategies []string
+	// Outcome summarizes how the guarded trials ended ("ok", or e.g.
+	// "fell-back:serial=2,ok=10"); empty when resilience guarding is
+	// off (no Timeout, Fallback, or ChaosSeed configured).
+	Outcome string
+	// Outcomes counts trials per resilience outcome across all modes,
+	// runs, and warm-ups of this measurement; nil when guarding is off.
+	Outcomes map[string]int
 }
 
 // MeasureHost times one kernel × format on the host CPU, averaging over
 // all modes (for Ttv/Ttm/Mttkrp) and cfg.Runs repetitions per mode,
-// excluding the preprocessing stage exactly as the paper does.
+// excluding the preprocessing stage exactly as the paper does. When the
+// Config enables a Timeout, Fallback, or ChaosSeed, every run executes
+// as a resilience trial: panics are contained, the deadline is enforced,
+// and a faulting OMP run may degrade to the serial rung; per-trial
+// outcomes aggregate into Result.Outcome.
 func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f roofline.Format, cfg Config) (Result, error) {
 	res := Result{
 		Kernel: k, Format: f, Platform: host.Name, Source: Measured,
 	}
+	g := newGuard(cfg)
+	defer g.close()
+	label := resilience.Label{Kernel: k.String(), Format: f.String(), Backend: "omp"}
 	var (
 		totalTime  float64
 		totalFlops int64
 		execs      int
 	)
-	addRun := func(flops int64, run func()) {
-		run() // warm-up, also verifies the path once
-		start := time.Now()
-		for i := 0; i < cfg.Runs; i++ {
-			run()
+	addRun := func(hr hostRun) error {
+		if g == nil {
+			if err := hr.omp(context.Background()); err != nil { // warm-up, also verifies the path once
+				return err
+			}
+			start := time.Now()
+			for i := 0; i < cfg.Runs; i++ {
+				if err := hr.omp(context.Background()); err != nil {
+					return err
+				}
+			}
+			totalTime += time.Since(start).Seconds() / float64(cfg.Runs)
+		} else {
+			sec, err := g.measure(hr, label, cfg.Runs)
+			if err != nil {
+				return err
+			}
+			totalTime += sec
 		}
-		totalTime += time.Since(start).Seconds() / float64(cfg.Runs)
-		totalFlops += flops
+		totalFlops += hr.flops
 		execs++
+		return nil
 	}
 
 	switch k {
@@ -124,7 +164,14 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 			if err != nil {
 				return res, err
 			}
-			addRun(p.FlopCount(), func() { p.ExecuteOMP(cfg.Sched) })
+			if err := addRun(hostRun{
+				flops:  p.FlopCount(),
+				omp:    func(ctx context.Context) error { p.ExecuteOMP(withCtx(cfg.Sched, ctx)); return nil },
+				serial: func() error { p.ExecuteSeq(); return nil },
+				check:  func() error { return resilience.CheckFinite(p.Out.Vals) },
+			}); err != nil {
+				return res, err
+			}
 		} else {
 			hx := hicoo.FromCOO(x, cfg.BlockBits)
 			hy := hicoo.FromCOO(y, cfg.BlockBits)
@@ -132,7 +179,14 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 			if err != nil {
 				return res, err
 			}
-			addRun(p.FlopCount(), func() { p.ExecuteOMP(cfg.Sched) })
+			if err := addRun(hostRun{
+				flops:  p.FlopCount(),
+				omp:    func(ctx context.Context) error { p.ExecuteOMP(withCtx(cfg.Sched, ctx)); return nil },
+				serial: func() error { p.ExecuteSeq(); return nil },
+				check:  func() error { return resilience.CheckFinite(p.Out.Vals) },
+			}); err != nil {
+				return res, err
+			}
 		}
 	case roofline.Ts:
 		if f == roofline.COO {
@@ -140,14 +194,28 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 			if err != nil {
 				return res, err
 			}
-			addRun(p.FlopCount(), func() { p.ExecuteOMP(cfg.Sched) })
+			if err := addRun(hostRun{
+				flops:  p.FlopCount(),
+				omp:    func(ctx context.Context) error { p.ExecuteOMP(withCtx(cfg.Sched, ctx)); return nil },
+				serial: func() error { p.ExecuteSeq(); return nil },
+				check:  func() error { return resilience.CheckFinite(p.Out.Vals) },
+			}); err != nil {
+				return res, err
+			}
 		} else {
 			hx := hicoo.FromCOO(x, cfg.BlockBits)
 			p, err := core.PrepareTsHiCOO(hx, 1.000001, core.Mul)
 			if err != nil {
 				return res, err
 			}
-			addRun(p.FlopCount(), func() { p.ExecuteOMP(cfg.Sched) })
+			if err := addRun(hostRun{
+				flops:  p.FlopCount(),
+				omp:    func(ctx context.Context) error { p.ExecuteOMP(withCtx(cfg.Sched, ctx)); return nil },
+				serial: func() error { p.ExecuteSeq(); return nil },
+				check:  func() error { return resilience.CheckFinite(p.Out.Vals) },
+			}); err != nil {
+				return res, err
+			}
 		}
 	case roofline.Ttv:
 		for mode := 0; mode < x.Order(); mode++ {
@@ -157,14 +225,28 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 				if err != nil {
 					return res, err
 				}
-				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(v, cfg.Sched) })
+				if err := addRun(hostRun{
+					flops:  p.FlopCount(),
+					omp:    func(ctx context.Context) error { _, err := p.ExecuteOMP(v, withCtx(cfg.Sched, ctx)); return err },
+					serial: func() error { _, err := p.ExecuteSeq(v); return err },
+					check:  func() error { return resilience.CheckFinite(p.Out.Vals) },
+				}); err != nil {
+					return res, err
+				}
 				res.Strategies = append(res.Strategies, p.LastStrategy.String())
 			} else {
 				p, err := core.PrepareTtvHiCOO(x, mode, cfg.BlockBits)
 				if err != nil {
 					return res, err
 				}
-				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(v, cfg.Sched) })
+				if err := addRun(hostRun{
+					flops:  p.FlopCount(),
+					omp:    func(ctx context.Context) error { _, err := p.ExecuteOMP(v, withCtx(cfg.Sched, ctx)); return err },
+					serial: func() error { _, err := p.ExecuteSeq(v); return err },
+					check:  func() error { return resilience.CheckFinite(p.Out.Vals) },
+				}); err != nil {
+					return res, err
+				}
 				res.Strategies = append(res.Strategies, p.LastStrategy.String())
 			}
 		}
@@ -177,14 +259,28 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 				if err != nil {
 					return res, err
 				}
-				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(u, cfg.Sched) })
+				if err := addRun(hostRun{
+					flops:  p.FlopCount(),
+					omp:    func(ctx context.Context) error { _, err := p.ExecuteOMP(u, withCtx(cfg.Sched, ctx)); return err },
+					serial: func() error { _, err := p.ExecuteSeq(u); return err },
+					check:  func() error { return resilience.CheckFinite(p.Out.Vals) },
+				}); err != nil {
+					return res, err
+				}
 				res.Strategies = append(res.Strategies, p.LastStrategy.String())
 			} else {
 				p, err := core.PrepareTtmHiCOO(x, mode, cfg.R, cfg.BlockBits)
 				if err != nil {
 					return res, err
 				}
-				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(u, cfg.Sched) })
+				if err := addRun(hostRun{
+					flops:  p.FlopCount(),
+					omp:    func(ctx context.Context) error { _, err := p.ExecuteOMP(u, withCtx(cfg.Sched, ctx)); return err },
+					serial: func() error { _, err := p.ExecuteSeq(u); return err },
+					check:  func() error { return resilience.CheckFinite(p.Out.Vals) },
+				}); err != nil {
+					return res, err
+				}
 				res.Strategies = append(res.Strategies, p.LastStrategy.String())
 			}
 		}
@@ -200,14 +296,28 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 				if err != nil {
 					return res, err
 				}
-				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(mats, cfg.Sched) })
+				if err := addRun(hostRun{
+					flops:  p.FlopCount(),
+					omp:    func(ctx context.Context) error { _, err := p.ExecuteOMP(mats, withCtx(cfg.Sched, ctx)); return err },
+					serial: func() error { _, err := p.ExecuteSeq(mats); return err },
+					check:  func() error { return resilience.CheckFinite(p.Out.Data) },
+				}); err != nil {
+					return res, err
+				}
 				res.Strategies = append(res.Strategies, p.LastStrategy.String())
 			} else {
 				p, err := core.PrepareMttkrpHiCOO(h, mode, cfg.R)
 				if err != nil {
 					return res, err
 				}
-				addRun(p.FlopCount(), func() { _, _ = p.ExecuteOMP(mats, cfg.Sched) })
+				if err := addRun(hostRun{
+					flops:  p.FlopCount(),
+					omp:    func(ctx context.Context) error { _, err := p.ExecuteOMP(mats, withCtx(cfg.Sched, ctx)); return err },
+					serial: func() error { _, err := p.ExecuteSeq(mats); return err },
+					check:  func() error { return resilience.CheckFinite(p.Out.Data) },
+				}); err != nil {
+					return res, err
+				}
 				res.Strategies = append(res.Strategies, p.LastStrategy.String())
 			}
 		}
@@ -215,6 +325,10 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 		return res, fmt.Errorf("metrics: unknown kernel %v", k)
 	}
 
+	if g != nil {
+		res.Outcomes = g.outcomes
+		res.Outcome = joinOutcomes(g.outcomes)
+	}
 	res.TimeSec = totalTime / float64(execs)
 	res.Flops = totalFlops / int64(execs)
 	if res.TimeSec > 0 {

@@ -8,8 +8,12 @@
 package parallel
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -58,6 +62,52 @@ func SetNumThreads(n int) {
 	numThreads.Store(int64(n))
 }
 
+// ErrDeadline is returned by For when Options.Ctx is cancelled or its
+// deadline passes before the loop completes. Workers abandon unclaimed
+// chunks, so a loop that returns ErrDeadline may have produced partial
+// output; callers must not report it as a result.
+var ErrDeadline = errors.New("parallel: deadline exceeded")
+
+// WorkerPanic is the value For re-raises on the calling goroutine when a
+// worker panicked: without this conversion a panicking worker goroutine
+// would crash the whole process uncatchably, whereas a WorkerPanic
+// propagates to the loop's caller where resilience.Run can contain it.
+type WorkerPanic struct {
+	// Worker is the id of the worker (or gpusim block) that panicked.
+	Worker int
+	// Value is the original recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack at the recovery point.
+	Stack []byte
+}
+
+func (w *WorkerPanic) Error() string {
+	return fmt.Sprintf("parallel: worker %d panicked: %v", w.Worker, w.Value)
+}
+
+// chunkHook, when installed, is invoked at the start of every claimed
+// chunk with the worker id. It exists for deterministic fault injection
+// (resilience.Injector): a hook that panics or stalls simulates a
+// faulting worker at chunk granularity.
+var chunkHook atomic.Pointer[func(worker int)]
+
+// SetChunkHook installs h as the global chunk hook; nil clears it. The
+// hook runs inside worker goroutines under panic containment.
+func SetChunkHook(h func(worker int)) {
+	if h == nil {
+		chunkHook.Store(nil)
+		return
+	}
+	chunkHook.Store(&h)
+}
+
+func loadChunkHook() func(worker int) {
+	if p := chunkHook.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // Options configures one parallel loop.
 type Options struct {
 	Schedule Schedule
@@ -69,6 +119,11 @@ type Options struct {
 	// Strategy selects the reduction-update strategy for kernels with a
 	// shared output (see Choose); the zero value Auto adapts per call.
 	Strategy Strategy
+	// Ctx, when non-nil, cancels the loop cooperatively: workers check
+	// it at chunk granularity, stop claiming chunks once it is done, and
+	// For returns ErrDeadline. Static no-chunk loops are forced onto the
+	// chunked path so cancellation keeps sub-range granularity.
+	Ctx context.Context
 }
 
 // ResolveThreads returns the worker count For will use for a loop of n
@@ -91,24 +146,97 @@ func ResolveThreads(n int, opt Options) int {
 	return threads
 }
 
+// loopCtl carries the abort/containment state of one For invocation.
+type loopCtl struct {
+	done  <-chan struct{}
+	hook  func(worker int)
+	abort atomic.Bool
+	mu    sync.Mutex
+	wp    *WorkerPanic
+}
+
+// active reports whether the loop needs per-chunk checks at all.
+func (c *loopCtl) active() bool { return c.done != nil || c.hook != nil }
+
+// enter reports whether worker w may start another chunk, running the
+// fault-injection hook when one is installed.
+func (c *loopCtl) enter(w int) bool {
+	if c.abort.Load() {
+		return false
+	}
+	if c.done != nil {
+		select {
+		case <-c.done:
+			c.abort.Store(true)
+			return false
+		default:
+		}
+	}
+	if c.hook != nil {
+		c.hook(w)
+	}
+	return true
+}
+
+// guard is deferred in every worker goroutine: it records the first
+// panic (value + stack) and aborts the loop so the other workers stop
+// claiming chunks.
+func (c *loopCtl) guard(w int) {
+	if r := recover(); r != nil {
+		c.mu.Lock()
+		if c.wp == nil {
+			c.wp = &WorkerPanic{Worker: w, Value: r, Stack: debug.Stack()}
+		}
+		c.mu.Unlock()
+		c.abort.Store(true)
+	}
+}
+
+// finish re-raises a contained worker panic on the caller's goroutine
+// (so resilience.Run can recover it) or reports cancellation.
+func (c *loopCtl) finish(ctx context.Context) error {
+	c.mu.Lock()
+	wp := c.wp
+	c.mu.Unlock()
+	if wp != nil {
+		panic(wp)
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return ErrDeadline
+	}
+	return nil
+}
+
 // For executes body over the half-open range [0, n) using the configured
 // schedule. body is called with sub-ranges [lo, hi) and the worker id in
-// [0, threads); each index is visited exactly once. For returns after all
-// iterations complete.
-func For(n int, opt Options, body func(lo, hi, worker int)) {
+// [0, threads); each index is visited exactly once unless the loop is
+// aborted. For returns after all iterations complete, or ErrDeadline when
+// opt.Ctx is cancelled first (the loop's output may then be partial). A
+// panic inside body is contained in its worker, aborts the remaining
+// chunks, and is re-raised on the calling goroutine as a *WorkerPanic.
+func For(n int, opt Options, body func(lo, hi, worker int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	threads := ResolveThreads(n, opt)
+	ctl := &loopCtl{hook: loadChunkHook()}
+	if opt.Ctx != nil {
+		ctl.done = opt.Ctx.Done()
+	}
 	if threads == 1 {
-		body(0, n, 0)
-		return
+		return forSerial(n, opt, ctl, body)
 	}
 	var wg sync.WaitGroup
 	wg.Add(threads)
 	switch opt.Schedule {
 	case Static:
 		chunk := opt.Chunk
+		if chunk <= 0 && ctl.active() {
+			// Cancellation and fault hooks need chunk granularity; the
+			// contiguous one-range-per-thread split would only check
+			// once per worker.
+			chunk = heuristicChunk(n, threads)
+		}
 		if chunk <= 0 {
 			// One contiguous range per thread.
 			for w := 0; w < threads; w++ {
@@ -116,7 +244,8 @@ func For(n int, opt Options, body func(lo, hi, worker int)) {
 				hi := (w + 1) * n / threads
 				go func(lo, hi, w int) {
 					defer wg.Done()
-					if lo < hi {
+					defer ctl.guard(w)
+					if lo < hi && ctl.enter(w) {
 						body(lo, hi, w)
 					}
 				}(lo, hi, w)
@@ -126,7 +255,11 @@ func For(n int, opt Options, body func(lo, hi, worker int)) {
 			for w := 0; w < threads; w++ {
 				go func(w int) {
 					defer wg.Done()
+					defer ctl.guard(w)
 					for lo := w * chunk; lo < n; lo += threads * chunk {
+						if !ctl.enter(w) {
+							return
+						}
 						hi := lo + chunk
 						if hi > n {
 							hi = n
@@ -145,7 +278,11 @@ func For(n int, opt Options, body func(lo, hi, worker int)) {
 		for w := 0; w < threads; w++ {
 			go func(w int) {
 				defer wg.Done()
+				defer ctl.guard(w)
 				for {
+					if !ctl.enter(w) {
+						return
+					}
 					lo := int(next.Add(int64(chunk))) - chunk
 					if lo >= n {
 						return
@@ -167,7 +304,11 @@ func For(n int, opt Options, body func(lo, hi, worker int)) {
 		for w := 0; w < threads; w++ {
 			go func(w int) {
 				defer wg.Done()
+				defer ctl.guard(w)
 				for {
+					if !ctl.enter(w) {
+						return
+					}
 					lo := int(next.Load())
 					if lo >= n {
 						return
@@ -198,12 +339,40 @@ func For(n int, opt Options, body func(lo, hi, worker int)) {
 		panic("parallel: unknown schedule")
 	}
 	wg.Wait()
+	return ctl.finish(opt.Ctx)
+}
+
+// forSerial runs the loop on the calling goroutine. With no context or
+// hook it is the zero-overhead single call the T=1 path always was; with
+// either it chunks the range so cancellation and fault injection keep
+// chunk granularity even at one thread. Panics propagate directly (same
+// goroutine), which resilience.Run contains just the same.
+func forSerial(n int, opt Options, ctl *loopCtl, body func(lo, hi, worker int)) error {
+	if !ctl.active() {
+		body(0, n, 0)
+		return nil
+	}
+	chunk := opt.Chunk
+	if chunk <= 0 {
+		chunk = heuristicChunk(n, 1)
+	}
+	for lo := 0; lo < n; lo += chunk {
+		if !ctl.enter(0) {
+			return ErrDeadline
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		body(lo, hi, 0)
+	}
+	return nil
 }
 
 // ForEach is For with a per-index body, for loops whose iterations are too
 // coarse to benefit from manual range handling.
-func ForEach(n int, opt Options, body func(i, worker int)) {
-	For(n, opt, func(lo, hi, w int) {
+func ForEach(n int, opt Options, body func(i, worker int)) error {
+	return For(n, opt, func(lo, hi, w int) {
 		for i := lo; i < hi; i++ {
 			body(i, w)
 		}

@@ -1,0 +1,329 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Outcome classifies how a guarded trial ended.
+type Outcome int
+
+const (
+	// OutcomeOK: the preferred backend succeeded on its first attempt.
+	OutcomeOK Outcome = iota
+	// OutcomeRecovered: the preferred backend failed transiently and a
+	// retry on the same backend succeeded.
+	OutcomeRecovered
+	// OutcomeFellBack: a lower ladder rung produced the result, verified
+	// against the reference when a Verify hook was given.
+	OutcomeFellBack
+	// OutcomeTimeout: the trial exceeded its deadline.
+	OutcomeTimeout
+	// OutcomeFailed: every rung failed (or the output failed validation).
+	OutcomeFailed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeRecovered:
+		return "recovered"
+	case OutcomeFellBack:
+		return "fell-back"
+	case OutcomeTimeout:
+		return "timeout"
+	default:
+		return "failed"
+	}
+}
+
+// Rung is one backend on the degradation ladder.
+type Rung struct {
+	// Backend names the rung for reports and circuit breaking
+	// ("gpu", "omp", "serial").
+	Backend string
+	// Exec runs the kernel on this backend. Cooperative implementations
+	// thread ctx into parallel.Options.Ctx / gpusim.Device.SetContext;
+	// non-cooperative ones are still bounded by Exec's goroutine race.
+	Exec func(ctx context.Context) error
+}
+
+// Trial describes one guarded kernel invocation.
+type Trial struct {
+	Label Label
+	// Timeout bounds the whole trial (all rungs and retries). Zero means
+	// no deadline beyond the caller's ctx.
+	Timeout time.Duration
+	// Retries is how many extra same-rung attempts a transient fault
+	// gets before the ladder falls to the next rung.
+	Retries int
+	// Backoff is the sleep before each retry, doubling per attempt.
+	Backoff time.Duration
+	// Rungs is the ladder, preferred backend first. At least one rung is
+	// required.
+	Rungs []Rung
+	// Check validates the output after any successful attempt (e.g.
+	// CheckFinite). A Check failure is terminal for the trial: bad data
+	// from a clean run means the inputs — not the backend — are at
+	// fault, so falling back would just recompute the same garbage.
+	Check func() error
+	// Verify validates a fallback rung's result (typically against the
+	// serial reference). A Verify failure is terminal: a fallback that
+	// disagrees with the reference must never be reported as a result.
+	Verify func() error
+}
+
+// Report records how a trial ended.
+type Report struct {
+	Outcome Outcome
+	// Backend that produced the accepted result (empty when none did).
+	Backend string
+	// FellFrom is the preferred backend when Outcome == OutcomeFellBack.
+	FellFrom string
+	// Attempts counts every Exec invocation across all rungs.
+	Attempts int
+	// Err is the terminal error for Timeout/Failed outcomes.
+	Err error
+	// Settled is closed once the last attempted kernel goroutine has
+	// actually returned; after a timeout the caller must drain it before
+	// reusing buffers the abandoned attempt may still write.
+	Settled <-chan struct{}
+}
+
+// String renders the outcome for harness tables: "ok", "recovered",
+// "fell-back:serial", "timeout", "failed".
+func (r Report) String() string {
+	if r.Outcome == OutcomeFellBack {
+		return "fell-back:" + r.Backend
+	}
+	return r.Outcome.String()
+}
+
+// breaker is a count-based circuit breaker for one backend.
+type breaker struct {
+	consecFails int
+	open        bool
+	cooldown    int // trials left to skip while open
+}
+
+// Runner executes trials with per-backend circuit breaking. The zero
+// value is usable; breakers populate lazily.
+type Runner struct {
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// backend's breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how many trials skip an open backend before a
+	// half-open probe is allowed through (default 8).
+	BreakerCooldown int
+	// DrainGrace bounds how long a timed-out trial waits for its
+	// abandoned kernel goroutine to return before reporting (default
+	// 100ms). Cooperative kernels settle almost immediately; the grace
+	// keeps stragglers from racing the caller's next use of the output
+	// buffers.
+	DrainGrace time.Duration
+
+	mu       sync.Mutex
+	breakers map[string]*breaker
+}
+
+func (r *Runner) threshold() int {
+	if r.BreakerThreshold > 0 {
+		return r.BreakerThreshold
+	}
+	return 3
+}
+
+func (r *Runner) cooldown() int {
+	if r.BreakerCooldown > 0 {
+		return r.BreakerCooldown
+	}
+	return 8
+}
+
+func (r *Runner) drainGrace() time.Duration {
+	if r.DrainGrace > 0 {
+		return r.DrainGrace
+	}
+	return 100 * time.Millisecond
+}
+
+// admit reports whether the backend's breaker lets an attempt through.
+// An open breaker counts down its cooldown on each skip and then admits
+// a single half-open probe.
+func (r *Runner) admit(backend string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.breakers == nil {
+		r.breakers = make(map[string]*breaker)
+	}
+	b := r.breakers[backend]
+	if b == nil {
+		b = &breaker{}
+		r.breakers[backend] = b
+	}
+	if !b.open {
+		return true
+	}
+	if b.cooldown > 0 {
+		b.cooldown--
+		return false
+	}
+	// Half-open: admit one probe; record() re-opens on failure.
+	return true
+}
+
+// record feeds an attempt result into the backend's breaker.
+func (r *Runner) record(backend string, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breakers[backend]
+	if b == nil {
+		return
+	}
+	if ok {
+		b.consecFails = 0
+		b.open = false
+		return
+	}
+	b.consecFails++
+	if b.consecFails >= r.threshold() {
+		b.open = true
+		b.cooldown = r.cooldown()
+	}
+}
+
+// BreakerOpen reports whether the backend's breaker is currently open
+// (for harness diagnostics).
+func (r *Runner) BreakerOpen(backend string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breakers[backend]
+	return b != nil && b.open
+}
+
+// Do executes one trial down the ladder and always returns a Report —
+// never panics, never hangs past the deadline. The walk:
+//
+//   - The trial deadline (Trial.Timeout under the caller's ctx) covers
+//     all rungs and retries; expiry is terminal with OutcomeTimeout.
+//   - A rung whose breaker is open is skipped (its cooldown ticks).
+//   - A transient failure (panic, launch error) retries the same rung
+//     up to Retries times with doubling Backoff, then falls through.
+//   - A success on rung 0 is OK (or Recovered after retries); a success
+//     lower down runs Verify and is FellBack, or fails the trial when
+//     Verify rejects it.
+//   - Check runs after every accepted attempt; its failure is terminal.
+func (r *Runner) Do(ctx context.Context, t Trial) Report {
+	if len(t.Rungs) == 0 {
+		return Report{Outcome: OutcomeFailed, Err: fmt.Errorf("resilience: trial %s has no rungs", t.Label)}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancel := func() {}
+	if t.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, t.Timeout)
+	}
+	defer cancel()
+
+	rep := Report{}
+	var lastErr error
+	for i, rung := range t.Rungs {
+		if !r.admit(rung.Backend) {
+			lastErr = fmt.Errorf("%w: backend %s", ErrBreakerOpen, rung.Backend)
+			continue
+		}
+		label := t.Label
+		label.Backend = rung.Backend
+		backoff := t.Backoff
+		for attempt := 0; attempt <= t.Retries; attempt++ {
+			if attempt > 0 && backoff > 0 {
+				select {
+				case <-time.After(backoff):
+				case <-ctx.Done():
+				}
+				backoff *= 2
+			}
+			if ctx.Err() != nil {
+				return r.timeoutReport(rep, label)
+			}
+			rep.Attempts++
+			err, settled := Exec(ctx, label, rung.Exec)
+			rep.Settled = settled
+			if err == nil {
+				r.record(rung.Backend, true)
+				return r.accept(rep, t, i, rung.Backend, attempt)
+			}
+			lastErr = err
+			r.record(rung.Backend, false)
+			if errors.Is(err, ErrDeadline) {
+				// A deadline is a trial-level budget, not a rung-level
+				// one: retrying or falling back would start more work
+				// with no time left. Drain the straggler briefly so it
+				// stops touching shared buffers, then report.
+				r.drain(settled)
+				rep.Outcome = OutcomeTimeout
+				rep.Err = err
+				return rep
+			}
+			// Transient fault (panic, launch failure): retry this rung.
+		}
+	}
+	rep.Outcome = OutcomeFailed
+	rep.Err = fmt.Errorf("%w: %s: %w", ErrExhausted, t.Label, lastErr)
+	return rep
+}
+
+// accept finalizes a successful attempt: output validation first, then
+// fallback verification when the success came from a lower rung.
+func (r *Runner) accept(rep Report, t Trial, rungIdx int, backend string, attempt int) Report {
+	rep.Backend = backend
+	if t.Check != nil {
+		if err := t.Check(); err != nil {
+			rep.Outcome = OutcomeFailed
+			rep.Err = wrap(t.Label, err)
+			return rep
+		}
+	}
+	switch {
+	case rungIdx == 0 && attempt == 0:
+		rep.Outcome = OutcomeOK
+	case rungIdx == 0:
+		rep.Outcome = OutcomeRecovered
+	default:
+		if t.Verify != nil {
+			if err := t.Verify(); err != nil {
+				rep.Outcome = OutcomeFailed
+				rep.Err = wrap(t.Label, fmt.Errorf("fallback result rejected: %w", err))
+				return rep
+			}
+		}
+		rep.Outcome = OutcomeFellBack
+		rep.FellFrom = t.Rungs[0].Backend
+	}
+	return rep
+}
+
+// timeoutReport closes out a trial whose deadline expired between
+// attempts.
+func (r *Runner) timeoutReport(rep Report, label Label) Report {
+	r.drain(rep.Settled)
+	rep.Outcome = OutcomeTimeout
+	rep.Err = &KernelError{Label: label, Err: fmt.Errorf("trial deadline: %w", ErrDeadline)}
+	return rep
+}
+
+// drain waits up to DrainGrace for an abandoned kernel goroutine.
+func (r *Runner) drain(settled <-chan struct{}) {
+	if settled == nil {
+		return
+	}
+	select {
+	case <-settled:
+	case <-time.After(r.drainGrace()):
+	}
+}

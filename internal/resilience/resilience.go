@@ -1,0 +1,169 @@
+// Package resilience is the suite's fault-tolerant trial-execution
+// runtime. Benchmark harnesses sweep many kernel × format × backend ×
+// thread-count combinations in one process; a single panicking kernel,
+// wedged launch, or non-finite output must fail that one trial — with a
+// typed, attributable error — and never the whole sweep.
+//
+// The runtime has four layers:
+//
+//  1. Panic containment: Run converts any panic raised by a kernel (or
+//     re-raised from a parallel.For worker / gpusim block worker) into a
+//     typed *KernelError carrying the trial label, the recovered value,
+//     and the worker stack.
+//  2. Deadlines: Exec enforces a context deadline even on kernels that
+//     never check their context (the stall case) by running the kernel
+//     on its own goroutine and abandoning it when the deadline wins the
+//     race. Cooperative kernels (parallel.Options.Ctx,
+//     gpusim.Device.SetContext) return parallel.ErrDeadline promptly on
+//     their own.
+//  3. Graceful degradation: Runner.Do walks a backend ladder (typically
+//     GPU-sim → OMP → serial), retrying transient faults with backoff,
+//     circuit-breaking backends that fail repeatedly, and verifying any
+//     fallback result before reporting it.
+//  4. Fault injection: Injector deterministically arms worker panics,
+//     stalls, and launch failures so the chaos tests can drive every
+//     recovery path on demand.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+
+	"repro/internal/parallel"
+)
+
+// Sentinel errors of the failure taxonomy. ErrDeadline aliases
+// parallel.ErrDeadline so errors.Is matches whether the deadline was
+// detected cooperatively inside a loop or by Exec's race.
+var (
+	// ErrPanic marks a contained kernel panic.
+	ErrPanic = errors.New("resilience: kernel panicked")
+	// ErrDeadline marks a trial that exceeded its deadline.
+	ErrDeadline = parallel.ErrDeadline
+	// ErrNonFinite marks an output that failed the finite scan (NaN or
+	// Inf — e.g. an element-wise division that hit a zero denominator).
+	ErrNonFinite = errors.New("resilience: non-finite value in kernel output")
+	// ErrExhausted marks a trial whose every ladder rung failed.
+	ErrExhausted = errors.New("resilience: all backends exhausted")
+	// ErrBreakerOpen marks a rung skipped because its backend's circuit
+	// breaker is open.
+	ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+)
+
+// Label identifies the trial a failure belongs to in reports and error
+// strings. Zero fields are simply omitted from the rendering.
+type Label struct {
+	Kernel  string // e.g. "Mttkrp"
+	Format  string // e.g. "HiCOO"
+	Backend string // e.g. "gpu"
+}
+
+func (l Label) String() string {
+	s := l.Kernel
+	if l.Format != "" {
+		s += "/" + l.Format
+	}
+	if l.Backend != "" {
+		s += "@" + l.Backend
+	}
+	if s == "" {
+		return "kernel"
+	}
+	return s
+}
+
+// KernelError is the typed failure of one guarded kernel invocation.
+type KernelError struct {
+	Label     Label
+	Err       error  // taxonomy sentinel or underlying cause
+	Recovered any    // non-nil when a panic was contained
+	Stack     []byte // stack of the panicking goroutine, when available
+}
+
+func (e *KernelError) Error() string {
+	if e.Recovered != nil {
+		return fmt.Sprintf("resilience: %s panicked: %v", e.Label, e.Recovered)
+	}
+	return fmt.Sprintf("resilience: %s failed: %v", e.Label, e.Err)
+}
+
+func (e *KernelError) Unwrap() error { return e.Err }
+
+// Run executes fn with panic containment: any panic — including a
+// *parallel.WorkerPanic re-raised from a worker goroutine — returns as a
+// *KernelError wrapping ErrPanic instead of unwinding the process. A
+// plain error return is wrapped with the label unless it already is a
+// *KernelError.
+func Run(label Label, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = asPanicError(label, r)
+		}
+	}()
+	return wrap(label, fn())
+}
+
+// asPanicError converts a recovered panic value into a *KernelError,
+// preserving the worker stack when the panic crossed a goroutine
+// boundary as a *parallel.WorkerPanic.
+func asPanicError(label Label, r any) *KernelError {
+	ke := &KernelError{Label: label, Err: ErrPanic, Recovered: r}
+	if wp, ok := r.(*parallel.WorkerPanic); ok {
+		ke.Recovered = wp.Value
+		ke.Stack = wp.Stack
+	} else {
+		ke.Stack = debug.Stack()
+	}
+	return ke
+}
+
+// wrap attaches the label to a non-nil error. Deadline errors keep
+// ErrDeadline visible through Unwrap; existing *KernelError values pass
+// through untouched.
+func wrap(label Label, err error) error {
+	if err == nil {
+		return nil
+	}
+	var ke *KernelError
+	if errors.As(err, &ke) {
+		return err
+	}
+	return &KernelError{Label: label, Err: err}
+}
+
+// Exec runs fn under ctx with the deadline enforced even against a
+// kernel that never checks its context: fn runs on its own goroutine and
+// Exec returns a *KernelError wrapping ErrDeadline as soon as ctx
+// expires. The second return is closed once fn has actually returned —
+// immediately on the fast path, later when the goroutine was abandoned —
+// so callers that share output buffers across trials can drain the
+// straggler before reusing them.
+func Exec(ctx context.Context, label Label, fn func(context.Context) error) (error, <-chan struct{}) {
+	settled := make(chan struct{})
+	res := make(chan error, 1) // buffered: an abandoned fn must not leak
+	go func() {
+		defer close(settled)
+		res <- Run(label, func() error { return fn(ctx) })
+	}()
+	select {
+	case err := <-res:
+		return err, settled
+	case <-ctx.Done():
+		return &KernelError{Label: label, Err: fmt.Errorf("trial deadline: %w", ErrDeadline)}, settled
+	}
+}
+
+// CheckFinite scans vals and returns ErrNonFinite (wrapped with the
+// offending index) on the first NaN or Inf. It is the standard
+// Trial.Check for kernels whose outputs must be finite.
+func CheckFinite(vals []float32) error {
+	for i, v := range vals {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return fmt.Errorf("%w: index %d is %v", ErrNonFinite, i, v)
+		}
+	}
+	return nil
+}
