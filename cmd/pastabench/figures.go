@@ -2,15 +2,19 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/kernelreg"
 	"repro/internal/metrics"
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
+	"repro/internal/resilience"
 	"repro/internal/roofline"
 )
 
@@ -21,6 +25,7 @@ type jsonRow struct {
 	Dataset    string  `json:"dataset"` // "real" | "synthetic"
 	Kernel     string  `json:"kernel"`
 	Format     string  `json:"format"`
+	Backend    string  `json:"backend,omitempty"` // measured rows: the registry backend that ran
 	GFLOPS     float64 `json:"gflops"`
 	Roofline   float64 `json:"roofline_gflops"`
 	Efficiency float64 `json:"efficiency"`
@@ -100,10 +105,44 @@ func runFigure3(o options) {
 		h.PeakSPGFLOPS, h.ERTDRAMGBs, h.ERTLLCGBs, h.Cores)
 }
 
-// runFigure reproduces one of Figures 4-7: the five kernels × two formats
-// across the real and synthetic datasets on a single platform, with the
-// Roofline bound per tensor. Values for the paper's machines come from
-// the analytic model; pass -measure-host to add wall-clock host rows.
+// formatLetter is the per-format column suffix of the figure tables.
+var formatLetter = map[roofline.Format]string{
+	roofline.COO:   "C",
+	roofline.HiCOO: "H",
+	roofline.CSF:   "S",
+	roofline.FCOO:  "F",
+}
+
+// classifyErr maps a measurement error onto its resilience-taxonomy
+// class for a table cell, so a guarded sweep shows *why* a row is
+// missing instead of a bare "err".
+func classifyErr(err error) string {
+	switch {
+	case errors.Is(err, resilience.ErrUnsupported):
+		return "unsup"
+	case errors.Is(err, resilience.ErrDeadline):
+		return "timeout"
+	case errors.Is(err, resilience.ErrPanic):
+		return "panic"
+	case errors.Is(err, resilience.ErrNonFinite):
+		return "nonfinite"
+	case errors.Is(err, resilience.ErrExhausted):
+		return "exhaust"
+	case errors.Is(err, resilience.ErrBreakerOpen):
+		return "breaker"
+	default:
+		return "err"
+	}
+}
+
+// runFigure reproduces one of Figures 4-7: the five kernels across the
+// real and synthetic datasets on a single platform, with the Roofline
+// bound per tensor. The format columns under each kernel come from the
+// kernelreg registry — COO and HiCOO everywhere, CSF and fCOO where
+// registered (Ttv, Mttkrp) — so a newly registered format grows a column
+// here without touching this file. Values for the paper's machines come
+// from the analytic model; pass -measure-host to add wall-clock host
+// rows (fCOO, a GPU-only format, is measured on the simulated device).
 func runFigure(o options, fig, platName string) {
 	p, err := platform.ByName(platName)
 	if err != nil {
@@ -125,9 +164,16 @@ func runFigure(o options, fig, platName string) {
 			host.Cores, host.PeakSPGFLOPS, host.ERTDRAMGBs)
 	}
 
+	formatsOf := make(map[roofline.Kernel][]roofline.Format, len(roofline.Kernels))
+	seriesOf := make(map[roofline.Kernel][]string, len(roofline.Kernels))
 	charts := make(map[roofline.Kernel]*barChart, len(roofline.Kernels))
 	for _, k := range roofline.Kernels {
+		formatsOf[k] = kernelreg.FormatsFor(k)
+		for _, f := range formatsOf[k] {
+			seriesOf[k] = append(seriesOf[k], f.String())
+		}
 		charts[k] = &barChart{title: fmt.Sprintf("%s on %s", k, platName)}
+		charts[k].ensureSeries(seriesOf[k])
 	}
 	doc := jsonFigure{Figure: fig, Platform: platName, PaperScale: o.paperScale, StandInNNZ: o.nnz}
 
@@ -141,7 +187,10 @@ func runFigure(o options, fig, platName string) {
 		fmt.Printf("\n%s\n", group.title)
 		fmt.Printf("%-5s %-9s", "No.", "Tensor")
 		for _, k := range roofline.Kernels {
-			fmt.Printf(" |%8s-C %8s-H", k, k)
+			fmt.Printf(" |")
+			for _, f := range formatsOf[k] {
+				fmt.Printf(" %9s", fmt.Sprintf("%s-%s", k, formatLetter[f]))
+			}
 		}
 		fmt.Printf(" | %s\n", "Roofline(Tew..Mttkrp)")
 		for _, e := range group.entries {
@@ -150,24 +199,24 @@ func runFigure(o options, fig, platName string) {
 				fmt.Printf("%-5s %-9s error: %v\n", e.ID, e.Name, err)
 				continue
 			}
+			dsName := "real"
+			if e.ID[0] == 's' {
+				dsName = "synthetic"
+			}
 			ws := scaleWorkloads(metrics.Workloads(x, cfg), e, o)
 			fmt.Printf("%-5s %-9s", e.ID, e.Name)
 			var roofs []float64
 			for _, k := range roofline.Kernels {
-				rc := metrics.ModelFromWorkloads(p, ws, k, roofline.COO)
-				rh := metrics.ModelFromWorkloads(p, ws, k, roofline.HiCOO)
-				fmt.Printf(" |%10.2f %10.2f", rc.GFLOPS, rh.GFLOPS)
-				roofs = append(roofs, rc.Roofline)
-				ch := charts[k]
-				ch.labels = append(ch.labels, e.ID+" "+e.Name)
-				ch.coo = append(ch.coo, rc.GFLOPS)
-				ch.hicoo = append(ch.hicoo, rh.GFLOPS)
-				ch.roof = append(ch.roof, rc.Roofline)
-				dsName := "real"
-				if e.ID[0] == 's' {
-					dsName = "synthetic"
-				}
-				for _, r := range []metrics.Result{rc, rh} {
+				fmt.Printf(" |")
+				var kroof float64
+				var kvals []float64
+				for _, f := range formatsOf[k] {
+					r := metrics.ModelFromWorkloads(p, ws, k, f)
+					fmt.Printf(" %9.2f", r.GFLOPS)
+					kvals = append(kvals, r.GFLOPS)
+					if f == roofline.COO {
+						kroof = r.Roofline
+					}
 					doc.Rows = append(doc.Rows, jsonRow{
 						Tensor: e.ID, Name: e.Name, Dataset: dsName,
 						Kernel: k.String(), Format: r.Format.String(),
@@ -175,6 +224,8 @@ func runFigure(o options, fig, platName string) {
 						Efficiency: r.Efficiency, Source: r.Source.String(),
 					})
 				}
+				roofs = append(roofs, kroof)
+				charts[k].add(e.ID+" "+e.Name, kroof, kvals)
 			}
 			fmt.Printf(" |")
 			for _, r := range roofs {
@@ -185,38 +236,43 @@ func runFigure(o options, fig, platName string) {
 				fmt.Printf("%-5s %-9s", "", "(host)")
 				var strategies, outcomes []string
 				for _, k := range roofline.Kernels {
-					mc, errC := metrics.MeasureHost(host, x, k, roofline.COO, cfg)
-					mh, errH := metrics.MeasureHost(host, x, k, roofline.HiCOO, cfg)
-					if errC != nil || errH != nil {
-						fmt.Printf(" |%10s %10s", "err", "err")
-						for _, err := range []error{errC, errH} {
-							if err != nil {
-								fmt.Fprintf(os.Stderr, "pastabench: %s %s: %v\n", e.ID, k, err)
-							}
+					fmt.Printf(" |")
+					var strs []string
+					anyStrategy := false
+					for _, f := range formatsOf[k] {
+						m, err := metrics.MeasureHost(host, x, k, f, cfg)
+						if err != nil {
+							fmt.Printf(" %9s", classifyErr(err))
+							fmt.Fprintf(os.Stderr, "pastabench: %s %s/%s: %v\n", e.ID, k, f, err)
+							strs = append(strs, "-")
+							continue
 						}
-						continue
-					}
-					fmt.Printf(" |%10.2f %10.2f", mc.GFLOPS, mh.GFLOPS)
-					dsName := "real"
-					if e.ID[0] == 's' {
-						dsName = "synthetic"
-					}
-					for _, r := range []metrics.Result{mc, mh} {
+						fmt.Printf(" %9.2f", m.GFLOPS)
+						backend := ""
+						if v, verr := kernelreg.HostVariant(k, f); verr == nil {
+							backend = v.Backend.String()
+						}
 						doc.Rows = append(doc.Rows, jsonRow{
 							Tensor: e.ID, Name: e.Name, Dataset: dsName,
-							Kernel: k.String(), Format: r.Format.String(),
-							GFLOPS: r.GFLOPS, Roofline: r.Roofline,
-							Efficiency: r.Efficiency, Source: r.Source.String(),
-							Strategy: r.Strategy, Outcome: r.Outcome,
+							Kernel: k.String(), Format: m.Format.String(), Backend: backend,
+							GFLOPS: m.GFLOPS, Roofline: m.Roofline,
+							Efficiency: m.Efficiency, Source: m.Source.String(),
+							Strategy: m.Strategy, Outcome: m.Outcome,
 						})
+						if m.Strategy != "" {
+							strs = append(strs, m.Strategy)
+							anyStrategy = true
+						} else {
+							strs = append(strs, "-")
+						}
+						// Surface any degraded trial so a guarded sweep cannot
+						// silently present fallback or timed-out numbers as clean.
+						if m.Outcome != "" && m.Outcome != "ok" {
+							outcomes = append(outcomes, fmt.Sprintf("%s-%s:%s", k, formatLetter[f], m.Outcome))
+						}
 					}
-					if mc.Strategy != "" {
-						strategies = append(strategies, fmt.Sprintf("%s:%s/%s", k, mc.Strategy, mh.Strategy))
-					}
-					// Surface any degraded trial so a guarded sweep cannot
-					// silently present fallback or timed-out numbers as clean.
-					if (mc.Outcome != "" && mc.Outcome != "ok") || (mh.Outcome != "" && mh.Outcome != "ok") {
-						outcomes = append(outcomes, fmt.Sprintf("%s:%s/%s", k, mc.Outcome, mh.Outcome))
+					if anyStrategy {
+						strategies = append(strategies, fmt.Sprintf("%s:%s", k, strings.Join(strs, "/")))
 					}
 				}
 				fmt.Printf(" | measured %v", strategies)
@@ -227,7 +283,7 @@ func runFigure(o options, fig, platName string) {
 			}
 		}
 	}
-	fmt.Println("\nColumns: <kernel>-C = COO, <kernel>-H = HiCOO; Roofline = per-tensor attainable bound (COO OI).")
+	fmt.Println("\nColumns per kernel (registered formats): -C = COO, -H = HiCOO, -S = CSF, -F = fCOO; Roofline = per-tensor attainable bound (COO OI).")
 	writeFigureJSON(o, fig, doc)
 	if o.plot {
 		for _, k := range roofline.Kernels {

@@ -59,7 +59,7 @@ func main() {
 	flag.BoolVar(&o.plot, "plot", false, "render figures 4-7 as ASCII bar charts after the tables")
 	flag.StringVar(&o.jsonDir, "json", "", "also write each figure's series as JSON into this directory")
 	flag.DurationVar(&o.timeout, "timeout", 0, "deadline per guarded host-measurement trial, e.g. 30s (0 disables)")
-	flag.BoolVar(&o.fallback, "fallback", false, "degrade a faulting OMP measurement to the serial backend instead of failing")
+	flag.BoolVar(&o.fallback, "fallback", false, "degrade a faulting measurement to the serial rung instead of failing")
 	flag.Int64Var(&o.chaosSeed, "chaos-seed", 0, "non-zero: inject deterministic faults into host measurement (fault drill)")
 	flag.Parse()
 

@@ -6,15 +6,47 @@ import (
 	"strings"
 )
 
-// barChart renders one kernel's figure panel as ASCII bars: per tensor, a
-// COO bar (#), a HiCOO bar (=), and the Roofline bound (|) on a log scale
-// — the textual analog of the paper's Figures 4-7 panels.
+// barSeries is one format's bars in a chart panel.
+type barSeries struct {
+	name string
+	ch   byte
+	vals []float64
+}
+
+// barChart renders one kernel's figure panel as ASCII bars: per tensor,
+// one bar per registered format series plus the Roofline bound (|) on a
+// log scale — the textual analog of the paper's Figures 4-7 panels. The
+// series set is dynamic: it comes from the kernelreg registry's format
+// list for the kernel, so a newly registered format grows a bar without
+// touching this code.
 type barChart struct {
 	title  string
 	labels []string
-	coo    []float64
-	hicoo  []float64
+	series []*barSeries
 	roof   []float64
+}
+
+// seriesGlyphs assigns bar characters to series in registry format
+// order: COO '#', HiCOO '=', CSF '%', fCOO '~'.
+var seriesGlyphs = []byte{'#', '=', '%', '~', '+', 'o'}
+
+// ensureSeries creates the series set on first use.
+func (c *barChart) ensureSeries(names []string) {
+	if c.series != nil {
+		return
+	}
+	for i, n := range names {
+		c.series = append(c.series, &barSeries{name: n, ch: seriesGlyphs[i%len(seriesGlyphs)]})
+	}
+}
+
+// add appends one tensor's data point: vals parallel to the series set.
+func (c *barChart) add(label string, roof float64, vals []float64) {
+	c.labels = append(c.labels, label)
+	c.roof = append(c.roof, roof)
+	for i, v := range vals {
+		c.series[i].vals = append(c.series[i].vals, v)
+	}
 }
 
 const barWidth = 56
@@ -23,8 +55,12 @@ func (c *barChart) render() string {
 	// Log scale spanning the data, floored one decade below the minimum.
 	maxV := 0.0
 	minV := math.Inf(1)
-	for i := range c.coo {
-		for _, v := range []float64{c.coo[i], c.hicoo[i], c.roof[i]} {
+	for i := range c.labels {
+		vs := []float64{c.roof[i]}
+		for _, s := range c.series {
+			vs = append(vs, s.vals[i])
+		}
+		for _, v := range vs {
 			if v > maxV {
 				maxV = v
 			}
@@ -56,12 +92,20 @@ func (c *barChart) render() string {
 	}
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s  [log scale 1e%.0f .. 1e%.0f GFLOPS; #=COO ==HiCOO |=Roofline]\n", c.title, lo, hi)
+	legend := make([]string, 0, len(c.series))
+	for _, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.ch, s.name))
+	}
+	fmt.Fprintf(&b, "%s  [log scale 1e%.0f .. 1e%.0f GFLOPS; %s |=Roofline]\n",
+		c.title, lo, hi, strings.Join(legend, " "))
 	for i, label := range c.labels {
-		cooBar := bar('#', pos(c.coo[i]), pos(c.roof[i]))
-		hicooBar := bar('=', pos(c.hicoo[i]), pos(c.roof[i]))
-		fmt.Fprintf(&b, "%-9s %s %8.2f\n", label, cooBar, c.coo[i])
-		fmt.Fprintf(&b, "%-9s %s %8.2f\n", "", hicooBar, c.hicoo[i])
+		for j, s := range c.series {
+			name := label
+			if j > 0 {
+				name = ""
+			}
+			fmt.Fprintf(&b, "%-9s %s %8.2f\n", name, bar(s.ch, pos(s.vals[i]), pos(c.roof[i])), s.vals[i])
+		}
 	}
 	return b.String()
 }

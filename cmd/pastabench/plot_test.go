@@ -6,16 +6,16 @@ import (
 )
 
 func TestBarChartRender(t *testing.T) {
-	c := &barChart{
-		title:  "Test kernel",
-		labels: []string{"a", "b"},
-		coo:    []float64{1, 100},
-		hicoo:  []float64{2, 50},
-		roof:   []float64{10, 10},
-	}
+	c := &barChart{title: "Test kernel"}
+	c.ensureSeries([]string{"COO", "HiCOO"})
+	c.add("a", 10, []float64{1, 2})
+	c.add("b", 10, []float64{100, 50})
 	out := c.render()
 	if !strings.Contains(out, "Test kernel") {
 		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "#=COO") || !strings.Contains(out, "==HiCOO") {
+		t.Fatalf("legend missing series names: %q", out)
 	}
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	if len(lines) != 1+2*len(c.labels) {
@@ -31,12 +31,38 @@ func TestBarChartRender(t *testing.T) {
 	}
 }
 
+// TestBarChartDynamicSeries pins the registry-driven series growth: a
+// chart with four format series renders four bars per tensor with four
+// distinct glyphs.
+func TestBarChartDynamicSeries(t *testing.T) {
+	c := &barChart{title: "Mttkrp"}
+	c.ensureSeries([]string{"COO", "HiCOO", "CSF", "fCOO"})
+	c.add("t1", 40, []float64{4, 8, 12, 16})
+	out := c.render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+4 {
+		t.Fatalf("got %d lines, want 5", len(lines))
+	}
+	for i, glyph := range []string{"#", "=", "%", "~"} {
+		if !strings.Contains(lines[1+i], glyph) {
+			t.Fatalf("series %d missing glyph %q: %q", i, glyph, lines[1+i])
+		}
+	}
+	// ensureSeries is idempotent: a second call must not duplicate.
+	c.ensureSeries([]string{"COO"})
+	if len(c.series) != 4 {
+		t.Fatalf("series count changed to %d", len(c.series))
+	}
+}
+
 func TestBarChartDegenerate(t *testing.T) {
 	c := &barChart{title: "empty"}
 	if out := c.render(); !strings.Contains(out, "no data") {
 		t.Fatalf("degenerate chart output %q", out)
 	}
-	z := &barChart{title: "zeros", labels: []string{"x"}, coo: []float64{0}, hicoo: []float64{0}, roof: []float64{0}}
+	z := &barChart{title: "zeros"}
+	z.ensureSeries([]string{"COO", "HiCOO"})
+	z.add("x", 0, []float64{0, 0})
 	if out := z.render(); !strings.Contains(out, "no data") {
 		t.Fatalf("zero chart output %q", out)
 	}

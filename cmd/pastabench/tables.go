@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dataset"
+	"repro/internal/kernelreg"
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/roofline"
@@ -40,11 +41,17 @@ func runTable1(o options) {
 	w0 := ws[0]
 	rp := roofline.Params{Order: w0.Order, M: w0.M, MF: w0.MF, Nb: w0.Nb, R: w0.R, BlockSize: w0.BlockSize}
 	fmt.Printf("\nConcrete instance (regS stand-in): M=%d MF=%d nb=%d R=%d B=%d\n", rp.M, rp.MF, rp.Nb, rp.R, rp.BlockSize)
-	fmt.Printf("%-8s %12s %14s %16s %10s %10s\n", "Kernel", "Flops", "Bytes(COO)", "Bytes(HiCOO)", "OI(COO)", "OI(tab.)")
-	for _, k := range roofline.Kernels {
-		fmt.Printf("%-8s %12d %14d %16d %10.4f %10.4f\n",
-			k, roofline.Work(k, rp), roofline.Bytes(k, roofline.COO, rp),
-			roofline.Bytes(k, roofline.HiCOO, rp), roofline.OI(k, roofline.COO, rp), roofline.AsymptoticOI(k))
+	fmt.Println("One row per registered (kernel, format) pair, evaluated via the variant's model hook:")
+	fmt.Printf("%-8s %-7s %12s %14s %10s %10s\n", "Kernel", "Format", "Flops", "Bytes", "OI", "OI(tab.)")
+	for _, pr := range kernelreg.Grid() {
+		v, err := kernelreg.HostVariant(pr.Kernel, pr.Format)
+		if err != nil {
+			fmt.Printf("%-8s %-7s error: %v\n", pr.Kernel, pr.Format, err)
+			continue
+		}
+		flops, bytes := v.Model(rp)
+		fmt.Printf("%-8s %-7s %12d %14d %10.4f %10.4f\n",
+			pr.Kernel, pr.Format, flops, bytes, v.OI(rp), roofline.AsymptoticOI(pr.Kernel))
 	}
 }
 

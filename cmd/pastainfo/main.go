@@ -7,6 +7,7 @@
 //
 //	pastainfo -f tensor.tns
 //	pastainfo -id deli -nnz 100000     # a scaled Table 2 stand-in
+//	pastainfo -variants                # print the kernel-variant registry
 package main
 
 import (
@@ -19,9 +20,82 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/gen"
 	"repro/internal/hicoo"
+	"repro/internal/kernelreg"
 	"repro/internal/reorder"
 	"repro/internal/tensor"
 )
+
+// printVariants renders the kernelreg registry as a grid: one row per
+// registered (kernel, format) pair, a mark per backend, and the
+// capability flags consumers dispatch on. This is the live registry —
+// the same enumeration metrics, pastaverify, pastabench, and the chaos
+// matrix iterate — so the grid always reflects what a build can run.
+func printVariants() {
+	all := kernelreg.All()
+	fmt.Printf("kernel-variant registry: %d variants across %d (kernel, format) pairs\n\n",
+		len(all), len(kernelreg.Grid()))
+	fmt.Printf("%-8s %-7s %-4s %-4s %-9s %s\n", "Kernel", "Format", "omp", "gpu", "multigpu", "caps")
+	for _, pr := range kernelreg.Grid() {
+		marks := make(map[kernelreg.Backend]string, len(kernelreg.Backends))
+		for _, b := range kernelreg.Backends {
+			marks[b] = "."
+		}
+		var caps []string
+		seen := make(map[string]bool)
+		for _, b := range kernelreg.BackendsFor(pr.Kernel, pr.Format) {
+			marks[b] = "x"
+			v, err := kernelreg.Lookup(pr.Kernel, pr.Format, b)
+			if err != nil {
+				continue
+			}
+			for _, c := range capFlags(v.Caps) {
+				if !seen[c] {
+					seen[c] = true
+					caps = append(caps, c)
+				}
+			}
+		}
+		capCol := "-"
+		if len(caps) > 0 {
+			capCol = joinComma(caps)
+		}
+		fmt.Printf("%-8s %-7s %-4s %-4s %-9s %s\n",
+			pr.Kernel, pr.Format,
+			marks[kernelreg.OMP], marks[kernelreg.GPU], marks[kernelreg.MultiGPU], capCol)
+	}
+	fmt.Println("\ncaps: mode-sweep = averaged over every tensor mode; factors = consumes dense")
+	fmt.Println("factor matrices (R columns); strategy = OMP path reports its reduction strategy;")
+	fmt.Println("serial-ref = fallback rung is the serial COO reference (no native serial path).")
+}
+
+// capFlags renders capability metadata as short flags.
+func capFlags(c kernelreg.Caps) []string {
+	var out []string
+	if c.ModeDependent {
+		out = append(out, "mode-sweep")
+	}
+	if c.NeedsFactors {
+		out = append(out, "factors")
+	}
+	if c.StrategyAware {
+		out = append(out, "strategy")
+	}
+	if c.SerialRef {
+		out = append(out, "serial-ref")
+	}
+	return out
+}
+
+func joinComma(parts []string) string {
+	s := ""
+	for i, p := range parts {
+		if i > 0 {
+			s += ","
+		}
+		s += p
+	}
+	return s
+}
 
 func main() {
 	var (
@@ -31,8 +105,14 @@ func main() {
 		seed       = flag.Int64("seed", 1, "stand-in seed")
 		blockBits  = flag.Uint("blockbits", uint(hicoo.DefaultBlockBits), "log2 HiCOO block size")
 		reorderCmp = flag.Bool("reorder", false, "compare index orderings (identity/random/degree/first-touch) by HiCOO block count")
+		variants   = flag.Bool("variants", false, "print the kernel-variant registry grid and exit")
 	)
 	flag.Parse()
+
+	if *variants {
+		printVariants()
+		return
+	}
 
 	if *blockBits < 1 || *blockBits > hicoo.MaxBlockBits {
 		fmt.Fprintf(os.Stderr, "pastainfo: -blockbits must be in [1,%d] (got %d)\n", hicoo.MaxBlockBits, *blockBits)

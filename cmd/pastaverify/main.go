@@ -1,10 +1,16 @@
 // Command pastaverify is the suite's self-check: it generates tensors
 // across the density spectrum (plus any .tns file the user supplies) and
-// cross-validates every implementation of every kernel — sequential vs
-// OpenMP-style vs simulated-GPU, COO vs HiCOO vs CSF, single- vs
-// multi-device — reporting the worst relative deviation per kernel.
-// Reference benchmark suites ship exactly this kind of validation mode so
-// ports to new hardware can be trusted before they are timed.
+// cross-validates every kernel variant the kernelreg registry knows —
+// every kernel × format × backend, COO/HiCOO/CSF/fCOO on OMP, simulated
+// GPU, and multi-device — against the serial COO reference, reporting
+// the worst relative deviation per variant. Reference benchmark suites
+// ship exactly this kind of validation mode so ports to new hardware can
+// be trusted before they are timed. The case list comes from
+// kernelreg.All(): registering a new variant makes it verified here
+// without touching this command.
+//
+// -kernel/-format/-backend narrow the sweep by case-insensitive
+// substring (e.g. -format csf, -backend gpu).
 //
 // Exit status is non-zero if any check exceeds the tolerance.
 package main
@@ -13,17 +19,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"math"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/csf"
 	"repro/internal/gen"
-	"repro/internal/gpusim"
-	"repro/internal/hicoo"
-	"repro/internal/parallel"
+	"repro/internal/kernelreg"
 	"repro/internal/resilience"
 	"repro/internal/tensor"
 )
@@ -37,8 +39,29 @@ func main() {
 		tol     = flag.Float64("tol", 2e-3, "relative tolerance between implementations")
 		file    = flag.String("f", "", "also verify against a user-supplied tensor file (.tns, .tns.gz, or .bten)")
 		timeout = flag.Duration("timeout", 0, "deadline per verification case, e.g. 2m (0 = none)")
+		kernelF = flag.String("kernel", "", "only verify kernels matching this substring (e.g. mttkrp)")
+		formatF = flag.String("format", "", "only verify formats matching this substring (e.g. csf)")
+		backF   = flag.String("backend", "", "only verify backends matching this substring (e.g. gpu)")
 	)
 	flag.Parse()
+
+	match := func(v *kernelreg.Variant) bool {
+		return containsFold(v.Kernel.String(), *kernelF) &&
+			containsFold(v.Format.String(), *formatF) &&
+			containsFold(v.Backend.String(), *backF)
+	}
+	var selected int
+	for _, v := range kernelreg.All() {
+		if match(v) {
+			selected++
+		}
+	}
+	if selected == 0 {
+		fmt.Fprintf(os.Stderr, "pastaverify: no registered variant matches -kernel=%q -format=%q -backend=%q\n",
+			*kernelF, *formatF, *backF)
+		os.Exit(1)
+	}
+	fmt.Printf("verifying %d of %d registered variants\n\n", selected, len(kernelreg.All()))
 
 	type tc struct {
 		name string
@@ -74,12 +97,9 @@ func main() {
 		cases = append(cases, tc{*file, x})
 	}
 
-	dev := gpusim.NewDevice("verify", 0)
-	devs := []*gpusim.Device{gpusim.NewDevice("v0", 4), gpusim.NewDevice("v1", 4)}
-
 	for _, c := range cases {
 		fmt.Printf("== %s: %v\n", c.name, c.x)
-		runCase(c.name, c.x, dev, devs, *tol, *timeout, rng)
+		runCase(c.name, c.x, match, *tol, *timeout)
 		fmt.Println()
 	}
 	if failures > 0 {
@@ -89,34 +109,38 @@ func main() {
 	fmt.Println("all implementations agree")
 }
 
+// containsFold reports whether s contains the filter, ignoring case; an
+// empty filter matches everything.
+func containsFold(s, filter string) bool {
+	return filter == "" || strings.Contains(strings.ToLower(s), strings.ToLower(filter))
+}
+
 // runCase executes one tensor's cross-validation under resilience
 // containment: a panic or a blown deadline anywhere in the case counts
 // as a verification failure instead of killing the whole self-check.
-func runCase(name string, x *tensor.COO, dev *gpusim.Device, devs []*gpusim.Device, tol float64, timeout time.Duration, rng *rand.Rand) {
+func runCase(name string, x *tensor.COO, match func(*kernelreg.Variant) bool, tol float64, timeout time.Duration) {
 	ctx := context.Background()
 	cancel := context.CancelFunc(func() {})
 	if timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 	}
 	defer cancel()
-	// Thread the deadline through both substrates so a timed-out case
-	// settles cooperatively instead of running to completion unobserved.
-	opt := parallel.Options{Schedule: parallel.Dynamic, Ctx: ctx}
-	for _, d := range append([]*gpusim.Device{dev}, devs...) {
-		d.SetContext(ctx)
-		defer d.SetContext(nil)
-	}
+	// The workbench is per-case: operands are derived from the tensor and
+	// cached, so every variant of a kernel sees identical inputs. Variant
+	// Run/Serial hooks thread ctx through both substrates themselves, so
+	// a timed-out case settles cooperatively.
+	wb := kernelreg.NewWorkbench(x, kernelreg.DefaultConfig())
 	err, settled := resilience.Exec(ctx, resilience.Label{Kernel: "verify", Format: name, Backend: "host"},
 		func(ctx context.Context) error {
-			verifyTensor(x, dev, devs, opt, tol, rng)
+			verifyRegistry(ctx, x, wb, match, tol)
 			return nil
 		})
 	if err != nil {
 		failures++
 		fmt.Printf("  case FAILED: %v\n", err)
 	}
-	// The abandoned goroutine shares rng and the devices with the next
-	// case; it must settle before the loop continues.
+	// The abandoned goroutine shares the workbench caches with nothing
+	// else, but it must settle before the process exits its loop.
 	select {
 	case <-settled:
 	case <-time.After(30 * time.Second):
@@ -125,188 +149,33 @@ func runCase(name string, x *tensor.COO, dev *gpusim.Device, devs []*gpusim.Devi
 	}
 }
 
-func verifyTensor(x *tensor.COO, dev *gpusim.Device, devs []*gpusim.Device, opt parallel.Options, tol float64, rng *rand.Rand) {
-	r := core.DefaultR
-	h := hicoo.FromCOO(x, hicoo.DefaultBlockBits)
-
-	// ---- Tew ------------------------------------------------------------
-	y := x.Clone()
-	for i := range y.Vals {
-		y.Vals[i] = tensor.Value(1 - rng.Float64())
-	}
-	hy := hicoo.FromCOO(y, hicoo.DefaultBlockBits)
-	tp, err := core.PrepareTew(x, y, core.Add)
-	need(err)
-	ref := append([]tensor.Value(nil), tp.ExecuteSeq().Vals...)
-	tp.ExecuteOMP(opt)
-	report("Tew", "omp-vs-seq", sliceDev(ref, tp.Out.Vals), tol)
-	tp.ExecuteGPU(dev)
-	report("Tew", "gpu-vs-seq", sliceDev(ref, tp.Out.Vals), tol)
-	hp, err := core.PrepareTewHiCOO(h, hy, core.Add)
-	need(err)
-	hz := hp.ExecuteSeq()
-	report("Tew", "hicoo-vs-coo", mapDev(cooMap(tp.Out), cooMap(hz.ToCOO())), tol)
-
-	// ---- Ts -------------------------------------------------------------
-	sp, err := core.PrepareTs(x, 1.37, core.Mul)
-	need(err)
-	refTs := append([]tensor.Value(nil), sp.ExecuteSeq().Vals...)
-	sp.ExecuteOMP(opt)
-	report("Ts", "omp-vs-seq", sliceDev(refTs, sp.Out.Vals), tol)
-	sp.ExecuteGPU(dev)
-	report("Ts", "gpu-vs-seq", sliceDev(refTs, sp.Out.Vals), tol)
-
-	// ---- Ttv (every mode) -------------------------------------------------
-	for mode := 0; mode < x.Order(); mode++ {
-		v := tensor.RandomVector(int(x.Dims[mode]), rng)
-		p, err := core.PrepareTtv(x, mode)
-		need(err)
-		seq, err := p.ExecuteSeq(v)
-		need(err)
-		refV := append([]tensor.Value(nil), seq.Vals...)
-		_, err = p.ExecuteOMP(v, opt)
-		need(err)
-		report("Ttv", fmt.Sprintf("omp-vs-seq m%d", mode), sliceDev(refV, p.Out.Vals), tol)
-		_, err = p.ExecuteGPU(dev, v)
-		need(err)
-		report("Ttv", fmt.Sprintf("gpu-vs-seq m%d", mode), sliceDev(refV, p.Out.Vals), tol)
-		_, err = p.ExecuteMultiGPU(devs, v)
-		need(err)
-		report("Ttv", fmt.Sprintf("multigpu m%d", mode), sliceDev(refV, p.Out.Vals), tol)
-		hpv, err := core.PrepareTtvHiCOO(x, mode, hicoo.DefaultBlockBits)
-		need(err)
-		hv, err := hpv.ExecuteSeq(v)
-		need(err)
-		report("Ttv", fmt.Sprintf("hicoo-vs-coo m%d", mode), mapDev(cooMap(seq), cooMap(hv.ToCOO())), tol)
-		// CSF leaf-mode Ttv.
-		mo := []int{}
-		for n := 0; n < x.Order(); n++ {
-			if n != mode {
-				mo = append(mo, n)
+// verifyRegistry sweeps the registry: each selected variant, on each of
+// its modes, is prepared, run, checked finite, and compared against the
+// cached serial COO reference for its kernel.
+func verifyRegistry(ctx context.Context, x *tensor.COO, wb *kernelreg.Workbench, match func(*kernelreg.Variant) bool, tol float64) {
+	for _, v := range kernelreg.All() {
+		if !match(v) {
+			continue
+		}
+		for mode := 0; mode < v.Modes(x); mode++ {
+			dev, err := v.Verify(ctx, wb, mode)
+			need(err)
+			check := "vs-serial-ref"
+			if v.Caps.ModeDependent {
+				check = fmt.Sprintf("vs-serial-ref m%d", mode)
 			}
-		}
-		cs, err := csf.FromCOO(x, append(mo, mode))
-		need(err)
-		cv, err := cs.TtvLeaf(v, opt)
-		need(err)
-		report("Ttv", fmt.Sprintf("csf-vs-coo m%d", mode), mapDev(cooMap(seq), cooMap(cv)), tol)
-	}
-
-	// ---- Ttm (mode 0) -----------------------------------------------------
-	u := tensor.NewMatrix(int(x.Dims[0]), r)
-	u.Randomize(rng)
-	mp, err := core.PrepareTtm(x, 0, r)
-	need(err)
-	seqM, err := mp.ExecuteSeq(u)
-	need(err)
-	refM := append([]tensor.Value(nil), seqM.Vals...)
-	_, err = mp.ExecuteOMP(u, opt)
-	need(err)
-	report("Ttm", "omp-vs-seq", sliceDev(refM, mp.Out.Vals), tol)
-	_, err = mp.ExecuteGPU(dev, u)
-	need(err)
-	report("Ttm", "gpu-vs-seq", sliceDev(refM, mp.Out.Vals), tol)
-	hm, err := core.PrepareTtmHiCOO(x, 0, r, hicoo.DefaultBlockBits)
-	need(err)
-	hmOut, err := hm.ExecuteSeq(u)
-	need(err)
-	report("Ttm", "hicoo-vs-coo", mapDev(cooMap(seqM.ToCOO()), cooMap(hmOut.ToSemiCOO().ToCOO())), tol)
-
-	// ---- Mttkrp (mode 0) ----------------------------------------------------
-	mats := make([]*tensor.Matrix, x.Order())
-	for n := range mats {
-		mats[n] = tensor.NewMatrix(int(x.Dims[n]), r)
-		mats[n].Randomize(rng)
-	}
-	kp, err := core.PrepareMttkrp(x, 0, r)
-	need(err)
-	seqK, err := kp.ExecuteSeq(mats)
-	need(err)
-	refK := append([]tensor.Value(nil), seqK.Data...)
-	_, err = kp.ExecuteOMP(mats, opt)
-	need(err)
-	report("Mttkrp", "omp-atomic", sliceDev(refK, kp.Out.Data), tol)
-	_, err = kp.ExecuteOMPPrivatized(mats, opt)
-	need(err)
-	report("Mttkrp", "omp-privatized", sliceDev(refK, kp.Out.Data), tol)
-	_, err = kp.ExecuteGPU(dev, mats)
-	need(err)
-	report("Mttkrp", "gpu", sliceDev(refK, kp.Out.Data), tol)
-	_, err = kp.ExecuteMultiGPU(devs, mats)
-	need(err)
-	report("Mttkrp", "multigpu", sliceDev(refK, kp.Out.Data), tol)
-	hk, err := core.PrepareMttkrpHiCOO(h, 0, r)
-	need(err)
-	hkOut, err := hk.ExecuteSeq(mats)
-	need(err)
-	report("Mttkrp", "hicoo", sliceDev(refK, hkOut.Data), tol)
-	cs, err := csf.FromCOO(x, nil)
-	need(err)
-	csOut, err := cs.MttkrpRoot(mats, opt)
-	need(err)
-	report("Mttkrp", "csf-root", sliceDev(refK, csOut.Data), tol)
-	bOut, err := cs.MttkrpRootBalanced(mats, opt, 0)
-	need(err)
-	report("Mttkrp", "bcsf-balanced", sliceDev(refK, bOut.Data), tol)
-}
-
-// sliceDev returns the worst relative deviation between two parallel
-// value slices.
-func sliceDev(a, b []tensor.Value) float64 {
-	var worst float64
-	for i := range a {
-		d := relDev(float64(a[i]), float64(b[i]))
-		if d > worst {
-			worst = d
+			report(v.String(), check, dev, tol)
 		}
 	}
-	return worst
 }
 
-func cooMap(t *tensor.COO) map[string]float64 {
-	m := make(map[string]float64, t.NNZ())
-	idx := make([]tensor.Index, t.Order())
-	for x := 0; x < t.NNZ(); x++ {
-		v := t.Entry(x, idx)
-		m[fmt.Sprint(idx)] += float64(v)
-	}
-	return m
-}
-
-// mapDev returns the worst relative deviation between coordinate maps.
-func mapDev(a, b map[string]float64) float64 {
-	var worst float64
-	for k, av := range a {
-		if d := relDev(av, b[k]); d > worst {
-			worst = d
-		}
-	}
-	for k, bv := range b {
-		if _, ok := a[k]; !ok {
-			if d := relDev(0, bv); d > worst {
-				worst = d
-			}
-		}
-	}
-	return worst
-}
-
-func relDev(a, b float64) float64 {
-	d := math.Abs(a - b)
-	scale := math.Max(math.Abs(a), math.Abs(b))
-	if scale < 1 {
-		scale = 1
-	}
-	return d / scale
-}
-
-func report(kernel, check string, dev, tol float64) {
+func report(variant, check string, dev, tol float64) {
 	status := "ok"
 	if dev > tol {
 		status = "FAIL"
 		failures++
 	}
-	fmt.Printf("  %-7s %-22s max rel dev %.2e  [%s]\n", kernel, check, dev, status)
+	fmt.Printf("  %-22s %-18s max rel dev %.2e  [%s]\n", variant, check, dev, status)
 }
 
 // must aborts the whole program: only for setup (generation, file load)

@@ -1,0 +1,113 @@
+package kernelreg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hicoo"
+	"repro/internal/resilience"
+	"repro/internal/tensor"
+)
+
+// Canon is the canonical coordinate→value form of a kernel output:
+// duplicate coordinates accumulate, so two outputs agree exactly when
+// they represent the same tensor regardless of format, entry order, or
+// duplicate splitting.
+type Canon map[string]float64
+
+// canonOf converts any output object a registered variant produces into
+// canonical form. A nil or unknown output canonicalizes to nil, which
+// Compare treats as maximally deviant — a variant that never ran cannot
+// accidentally verify.
+func canonOf(out any) Canon {
+	switch o := out.(type) {
+	case *tensor.COO:
+		return cooCanon(o)
+	case *hicoo.HiCOO:
+		return cooCanon(o.ToCOO())
+	case *tensor.SemiCOO:
+		return cooCanon(o.ToCOO())
+	case *hicoo.SemiHiCOO:
+		return cooCanon(o.ToSemiCOO().ToCOO())
+	case *tensor.Matrix:
+		m := make(Canon, len(o.Data))
+		for i := 0; i < o.Rows; i++ {
+			row := o.Row(i)
+			for j, v := range row {
+				if v != 0 {
+					m[fmt.Sprintf("r%d,c%d", i, j)] += float64(v)
+				}
+			}
+		}
+		return m
+	}
+	return nil
+}
+
+// cooCanon accumulates a COO tensor into coordinate→value form.
+func cooCanon(t *tensor.COO) Canon {
+	m := make(Canon, t.NNZ())
+	idx := make([]tensor.Index, t.Order())
+	for x := 0; x < t.NNZ(); x++ {
+		v := t.Entry(x, idx)
+		m[fmt.Sprint(idx)] += float64(v)
+	}
+	return m
+}
+
+// valsOf extracts the raw value array of a variant output for the finite
+// scan; nil for unknown output kinds.
+func valsOf(out any) []tensor.Value {
+	switch o := out.(type) {
+	case *tensor.COO:
+		return o.Vals
+	case *hicoo.HiCOO:
+		return o.Vals
+	case *tensor.SemiCOO:
+		return o.Vals
+	case *hicoo.SemiHiCOO:
+		return o.Vals
+	case *tensor.Matrix:
+		return o.Data
+	}
+	return nil
+}
+
+// checkFinite is the standard Instance.Check: scan whichever output the
+// last rung wrote for NaN/Inf.
+func checkFinite(out any) error {
+	if out == nil {
+		return fmt.Errorf("kernelreg: no output to check: %w", resilience.ErrNonFinite)
+	}
+	return resilience.CheckFinite(valsOf(out))
+}
+
+// Compare returns the worst relative deviation between two canonical
+// outputs over the union of their coordinates (absolute deviation for
+// magnitudes below 1). Either side nil compares as all-zeros against the
+// other, so a missing output deviates by the other's largest entry.
+func Compare(a, b Canon) float64 {
+	var worst float64
+	for k, av := range a {
+		if d := relDev(av, b[k]); d > worst {
+			worst = d
+		}
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			if d := relDev(0, bv); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func relDev(a, b float64) float64 {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return d / scale
+}

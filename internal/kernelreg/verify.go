@@ -1,0 +1,60 @@
+package kernelreg
+
+import (
+	"context"
+
+	"repro/internal/roofline"
+)
+
+type refKey struct {
+	k    roofline.Kernel
+	mode int
+}
+
+// Reference returns the canonical serial-COO reference output for kernel
+// k on one mode, computed (once per workbench) via the registry's own
+// (k, COO, OMP) variant run on its serial rung — the registry defines
+// its own ground truth instead of a parallel switch.
+func (wb *Workbench) Reference(ctx context.Context, k roofline.Kernel, mode int) (Canon, error) {
+	key := refKey{k, mode}
+	if c, ok := wb.refs[key]; ok {
+		return c, nil
+	}
+	v, err := Lookup(k, roofline.COO, OMP)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := v.Prepare(wb, mode)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.Serial(ctx); err != nil {
+		return nil, err
+	}
+	c := inst.Output()
+	wb.refs[key] = c
+	return c, nil
+}
+
+// Verify prepares the variant on one mode, runs its native backend once
+// under ctx, scans the output for non-finite values, and returns the
+// worst relative deviation from the serial COO reference. Harnesses gate
+// on a tolerance (2e-3 covers float32 reduction-order noise at the
+// suite's sizes).
+func (v *Variant) Verify(ctx context.Context, wb *Workbench, mode int) (float64, error) {
+	ref, err := wb.Reference(ctx, v.Kernel, mode)
+	if err != nil {
+		return 0, err
+	}
+	inst, err := v.Prepare(wb, mode)
+	if err != nil {
+		return 0, err
+	}
+	if err := inst.Run(ctx); err != nil {
+		return 0, err
+	}
+	if err := inst.Check(); err != nil {
+		return 0, err
+	}
+	return Compare(inst.Output(), ref), nil
+}

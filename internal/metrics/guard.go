@@ -7,19 +7,9 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/parallel"
+	"repro/internal/kernelreg"
 	"repro/internal/resilience"
 )
-
-// hostRun is one measurable execution unit of MeasureHost — a kernel on
-// one mode: the OMP body a guarded trial runs under its deadline, the
-// serial fallback rung, and the post-run output validation.
-type hostRun struct {
-	flops  int64
-	omp    func(ctx context.Context) error
-	serial func() error
-	check  func() error
-}
 
 // guard wraps measured runs in the resilience runner when the Config
 // asks for deadlines, fallback, or fault injection. A nil *guard is the
@@ -60,23 +50,21 @@ func (g *guard) stallFor() time.Duration {
 	return 200 * time.Millisecond
 }
 
-// measure runs one warm-up trial plus `runs` timed trials of hr through
-// the degradation ladder, recording each trial's outcome, and returns
-// the mean seconds of the successful timed trials.
-func (g *guard) measure(hr hostRun, label resilience.Label, runs int) (float64, error) {
+// measure runs one warm-up trial plus `runs` timed trials of a prepared
+// registry instance through the degradation ladder, recording each
+// trial's outcome, and returns the mean seconds of the successful timed
+// trials.
+func (g *guard) measure(inst *kernelreg.Instance, label resilience.Label, runs int) (float64, error) {
 	t := resilience.Trial{
 		Label:   label,
 		Timeout: g.cfg.Timeout,
 		Retries: 1,
 		Backoff: time.Millisecond,
-		Rungs:   []resilience.Rung{{Backend: "omp", Exec: hr.omp}},
-		Check:   hr.check,
+		Rungs:   []resilience.Rung{{Backend: label.Backend, Exec: inst.Run}},
+		Check:   inst.Check,
 	}
-	if g.cfg.Fallback && hr.serial != nil {
-		t.Rungs = append(t.Rungs, resilience.Rung{
-			Backend: "serial",
-			Exec:    func(context.Context) error { return hr.serial() },
-		})
+	if g.cfg.Fallback && inst.Serial != nil {
+		t.Rungs = append(t.Rungs, resilience.Rung{Backend: "serial", Exec: inst.Serial})
 	}
 	var (
 		total   float64
@@ -114,13 +102,6 @@ func (g *guard) measure(hr hostRun, label resilience.Label, runs int) (float64, 
 		return 0, lastErr
 	}
 	return total / float64(good), nil
-}
-
-// withCtx threads a trial context into the scheduling options so the
-// kernel observes the deadline at chunk granularity.
-func withCtx(opt parallel.Options, ctx context.Context) parallel.Options {
-	opt.Ctx = ctx
-	return opt
 }
 
 // joinOutcomes renders the per-outcome trial counts for harness tables:

@@ -2,22 +2,22 @@
 // runs a kernel in a given format on the host (wall-clock timed, averaged
 // over 5 runs and over all tensor modes, as §5.1.2 prescribes) or
 // evaluates the analytic model for one of the paper's platforms, and
-// reports GFLOPS against the Roofline bound.
+// reports GFLOPS against the Roofline bound. Which implementations exist
+// — and how each is prepared, run, and modeled — comes from the
+// kernelreg registry; this package only times and aggregates.
 package metrics
 
 import (
 	"context"
-	"fmt"
-	"math/rand"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/hicoo"
+	"repro/internal/kernelreg"
 	"repro/internal/parallel"
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
-	"repro/internal/resilience"
 	"repro/internal/roofline"
 	"repro/internal/tensor"
 )
@@ -53,8 +53,8 @@ type Config struct {
 	// Timeout bounds each guarded measurement trial (all retries and
 	// fallback rungs); zero disables deadlines.
 	Timeout time.Duration
-	// Fallback adds a serial rung below the OMP backend so a faulting
-	// parallel run degrades to a slower, correct result instead of
+	// Fallback adds a serial rung below the variant's backend so a
+	// faulting run degrades to a slower, correct result instead of
 	// failing the measurement.
 	Fallback bool
 	// ChaosSeed, when non-zero, installs the deterministic fault
@@ -71,6 +71,11 @@ func DefaultConfig() Config {
 		Runs:      5,
 		Sched:     parallel.Options{Schedule: parallel.Dynamic},
 	}
+}
+
+// regConfig maps the experiment parameters onto a workbench config.
+func regConfig(cfg Config) kernelreg.Config {
+	return kernelreg.Config{R: cfg.R, BlockBits: cfg.BlockBits, Sched: cfg.Sched}
 }
 
 // Result is one bar of Figures 4-7: a (tensor, kernel, format, platform)
@@ -114,215 +119,61 @@ type Result struct {
 }
 
 // MeasureHost times one kernel × format on the host CPU, averaging over
-// all modes (for Ttv/Ttm/Mttkrp) and cfg.Runs repetitions per mode,
-// excluding the preprocessing stage exactly as the paper does. When the
+// all modes (for the mode-dependent kernels) and cfg.Runs repetitions
+// per mode, excluding the preprocessing stage exactly as the paper does.
+// The implementation comes from the kernelreg registry (the OMP variant
+// when one is registered, else the simulated-device variant — how the
+// GPU-only fCOO format gets host rows); an unregistered (kernel, format)
+// returns the typed resilience.ErrUnsupported taxonomy error. When the
 // Config enables a Timeout, Fallback, or ChaosSeed, every run executes
 // as a resilience trial: panics are contained, the deadline is enforced,
-// and a faulting OMP run may degrade to the serial rung; per-trial
-// outcomes aggregate into Result.Outcome.
+// and a faulting run may degrade to the serial rung; per-trial outcomes
+// aggregate into Result.Outcome.
 func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f roofline.Format, cfg Config) (Result, error) {
 	res := Result{
 		Kernel: k, Format: f, Platform: host.Name, Source: Measured,
 	}
+	v, err := kernelreg.HostVariant(k, f)
+	if err != nil {
+		return res, err
+	}
+	wb := kernelreg.NewWorkbench(x, regConfig(cfg))
 	g := newGuard(cfg)
 	defer g.close()
-	label := resilience.Label{Kernel: k.String(), Format: f.String(), Backend: "omp"}
+	label := v.Label()
 	var (
 		totalTime  float64
 		totalFlops int64
 		execs      int
 	)
-	addRun := func(hr hostRun) error {
+	for mode := 0; mode < v.Modes(x); mode++ {
+		inst, err := v.Prepare(wb, mode)
+		if err != nil {
+			return res, err
+		}
 		if g == nil {
-			if err := hr.omp(context.Background()); err != nil { // warm-up, also verifies the path once
-				return err
+			if err := inst.Run(context.Background()); err != nil { // warm-up, also verifies the path once
+				return res, err
 			}
 			start := time.Now()
 			for i := 0; i < cfg.Runs; i++ {
-				if err := hr.omp(context.Background()); err != nil {
-					return err
+				if err := inst.Run(context.Background()); err != nil {
+					return res, err
 				}
 			}
 			totalTime += time.Since(start).Seconds() / float64(cfg.Runs)
 		} else {
-			sec, err := g.measure(hr, label, cfg.Runs)
+			sec, err := g.measure(inst, label, cfg.Runs)
 			if err != nil {
-				return err
+				return res, err
 			}
 			totalTime += sec
 		}
-		totalFlops += hr.flops
+		totalFlops += inst.Flops
 		execs++
-		return nil
-	}
-
-	switch k {
-	case roofline.Tew:
-		y := sameStructureOperand(x, 12345)
-		if f == roofline.COO {
-			p, err := core.PrepareTew(x, y, core.Add)
-			if err != nil {
-				return res, err
-			}
-			if err := addRun(hostRun{
-				flops:  p.FlopCount(),
-				omp:    func(ctx context.Context) error { p.ExecuteOMP(withCtx(cfg.Sched, ctx)); return nil },
-				serial: func() error { p.ExecuteSeq(); return nil },
-				check:  func() error { return resilience.CheckFinite(p.Out.Vals) },
-			}); err != nil {
-				return res, err
-			}
-		} else {
-			hx := hicoo.FromCOO(x, cfg.BlockBits)
-			hy := hicoo.FromCOO(y, cfg.BlockBits)
-			p, err := core.PrepareTewHiCOO(hx, hy, core.Add)
-			if err != nil {
-				return res, err
-			}
-			if err := addRun(hostRun{
-				flops:  p.FlopCount(),
-				omp:    func(ctx context.Context) error { p.ExecuteOMP(withCtx(cfg.Sched, ctx)); return nil },
-				serial: func() error { p.ExecuteSeq(); return nil },
-				check:  func() error { return resilience.CheckFinite(p.Out.Vals) },
-			}); err != nil {
-				return res, err
-			}
+		if inst.Strategy != nil {
+			res.Strategies = append(res.Strategies, inst.Strategy())
 		}
-	case roofline.Ts:
-		if f == roofline.COO {
-			p, err := core.PrepareTs(x, 1.000001, core.Mul)
-			if err != nil {
-				return res, err
-			}
-			if err := addRun(hostRun{
-				flops:  p.FlopCount(),
-				omp:    func(ctx context.Context) error { p.ExecuteOMP(withCtx(cfg.Sched, ctx)); return nil },
-				serial: func() error { p.ExecuteSeq(); return nil },
-				check:  func() error { return resilience.CheckFinite(p.Out.Vals) },
-			}); err != nil {
-				return res, err
-			}
-		} else {
-			hx := hicoo.FromCOO(x, cfg.BlockBits)
-			p, err := core.PrepareTsHiCOO(hx, 1.000001, core.Mul)
-			if err != nil {
-				return res, err
-			}
-			if err := addRun(hostRun{
-				flops:  p.FlopCount(),
-				omp:    func(ctx context.Context) error { p.ExecuteOMP(withCtx(cfg.Sched, ctx)); return nil },
-				serial: func() error { p.ExecuteSeq(); return nil },
-				check:  func() error { return resilience.CheckFinite(p.Out.Vals) },
-			}); err != nil {
-				return res, err
-			}
-		}
-	case roofline.Ttv:
-		for mode := 0; mode < x.Order(); mode++ {
-			v := tensor.RandomVector(int(x.Dims[mode]), rand.New(rand.NewSource(int64(mode))))
-			if f == roofline.COO {
-				p, err := core.PrepareTtv(x, mode)
-				if err != nil {
-					return res, err
-				}
-				if err := addRun(hostRun{
-					flops:  p.FlopCount(),
-					omp:    func(ctx context.Context) error { _, err := p.ExecuteOMP(v, withCtx(cfg.Sched, ctx)); return err },
-					serial: func() error { _, err := p.ExecuteSeq(v); return err },
-					check:  func() error { return resilience.CheckFinite(p.Out.Vals) },
-				}); err != nil {
-					return res, err
-				}
-				res.Strategies = append(res.Strategies, p.LastStrategy.String())
-			} else {
-				p, err := core.PrepareTtvHiCOO(x, mode, cfg.BlockBits)
-				if err != nil {
-					return res, err
-				}
-				if err := addRun(hostRun{
-					flops:  p.FlopCount(),
-					omp:    func(ctx context.Context) error { _, err := p.ExecuteOMP(v, withCtx(cfg.Sched, ctx)); return err },
-					serial: func() error { _, err := p.ExecuteSeq(v); return err },
-					check:  func() error { return resilience.CheckFinite(p.Out.Vals) },
-				}); err != nil {
-					return res, err
-				}
-				res.Strategies = append(res.Strategies, p.LastStrategy.String())
-			}
-		}
-	case roofline.Ttm:
-		for mode := 0; mode < x.Order(); mode++ {
-			u := tensor.NewMatrix(int(x.Dims[mode]), cfg.R)
-			u.Randomize(rand.New(rand.NewSource(int64(mode) + 100)))
-			if f == roofline.COO {
-				p, err := core.PrepareTtm(x, mode, cfg.R)
-				if err != nil {
-					return res, err
-				}
-				if err := addRun(hostRun{
-					flops:  p.FlopCount(),
-					omp:    func(ctx context.Context) error { _, err := p.ExecuteOMP(u, withCtx(cfg.Sched, ctx)); return err },
-					serial: func() error { _, err := p.ExecuteSeq(u); return err },
-					check:  func() error { return resilience.CheckFinite(p.Out.Vals) },
-				}); err != nil {
-					return res, err
-				}
-				res.Strategies = append(res.Strategies, p.LastStrategy.String())
-			} else {
-				p, err := core.PrepareTtmHiCOO(x, mode, cfg.R, cfg.BlockBits)
-				if err != nil {
-					return res, err
-				}
-				if err := addRun(hostRun{
-					flops:  p.FlopCount(),
-					omp:    func(ctx context.Context) error { _, err := p.ExecuteOMP(u, withCtx(cfg.Sched, ctx)); return err },
-					serial: func() error { _, err := p.ExecuteSeq(u); return err },
-					check:  func() error { return resilience.CheckFinite(p.Out.Vals) },
-				}); err != nil {
-					return res, err
-				}
-				res.Strategies = append(res.Strategies, p.LastStrategy.String())
-			}
-		}
-	case roofline.Mttkrp:
-		mats := factorMatrices(x, cfg.R, 777)
-		var h *hicoo.HiCOO
-		if f == roofline.HiCOO {
-			h = hicoo.FromCOO(x, cfg.BlockBits)
-		}
-		for mode := 0; mode < x.Order(); mode++ {
-			if f == roofline.COO {
-				p, err := core.PrepareMttkrp(x, mode, cfg.R)
-				if err != nil {
-					return res, err
-				}
-				if err := addRun(hostRun{
-					flops:  p.FlopCount(),
-					omp:    func(ctx context.Context) error { _, err := p.ExecuteOMP(mats, withCtx(cfg.Sched, ctx)); return err },
-					serial: func() error { _, err := p.ExecuteSeq(mats); return err },
-					check:  func() error { return resilience.CheckFinite(p.Out.Data) },
-				}); err != nil {
-					return res, err
-				}
-				res.Strategies = append(res.Strategies, p.LastStrategy.String())
-			} else {
-				p, err := core.PrepareMttkrpHiCOO(h, mode, cfg.R)
-				if err != nil {
-					return res, err
-				}
-				if err := addRun(hostRun{
-					flops:  p.FlopCount(),
-					omp:    func(ctx context.Context) error { _, err := p.ExecuteOMP(mats, withCtx(cfg.Sched, ctx)); return err },
-					serial: func() error { _, err := p.ExecuteSeq(mats); return err },
-					check:  func() error { return resilience.CheckFinite(p.Out.Data) },
-				}); err != nil {
-					return res, err
-				}
-				res.Strategies = append(res.Strategies, p.LastStrategy.String())
-			}
-		}
-	default:
-		return res, fmt.Errorf("metrics: unknown kernel %v", k)
 	}
 
 	if g != nil {
@@ -335,7 +186,7 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 		res.GFLOPS = float64(res.Flops) / res.TimeSec / 1e9
 	}
 	res.Strategy = joinStrategies(res.Strategies)
-	res.Roofline, res.Efficiency = rooflineBound(host, x, k, f, cfg, res.GFLOPS)
+	res.Roofline, res.Efficiency = rooflineBound(host, x, v, cfg, res.GFLOPS)
 	return res, nil
 }
 
@@ -372,7 +223,7 @@ func ModelFromWorkloads(p *platform.Platform, ws []perfmodel.Workload, k rooflin
 		Kernel: k, Format: f, Platform: p.Name, Source: Modeled,
 	}
 	modes := len(ws)
-	if k == roofline.Tew || k == roofline.Ts {
+	if !kernelreg.ModeDependent(k) {
 		modes = 1
 	}
 	var totalTime, oiSum float64
@@ -396,17 +247,15 @@ func ModelFromWorkloads(p *platform.Platform, ws []perfmodel.Workload, k rooflin
 	return res
 }
 
-// rooflineBound computes the per-tensor accurate-OI Roofline bound,
-// averaging the OI across modes for the mode-dependent kernels.
-func rooflineBound(p *platform.Platform, x *tensor.COO, k roofline.Kernel, f roofline.Format, cfg Config, gflops float64) (bound, eff float64) {
-	modes := 1
-	if k == roofline.Ttv || k == roofline.Ttm || k == roofline.Mttkrp {
-		modes = x.Order()
-	}
+// rooflineBound computes the per-tensor accurate-OI Roofline bound from
+// the variant's model hook, averaging the OI across modes for the
+// mode-dependent kernels.
+func rooflineBound(p *platform.Platform, x *tensor.COO, v *kernelreg.Variant, cfg Config, gflops float64) (bound, eff float64) {
+	modes := v.Modes(x)
 	var oiSum float64
 	for mode := 0; mode < modes; mode++ {
 		rp := paramsFor(x, mode, cfg)
-		oiSum += roofline.OI(k, f, rp)
+		oiSum += v.OI(rp)
 	}
 	oi := oiSum / float64(modes)
 	bound = roofline.Attainable(p, oi)
@@ -427,26 +276,4 @@ func paramsFor(x *tensor.COO, mode int, cfg Config) roofline.Params {
 	h := hicoo.FromCOO(x, cfg.BlockBits)
 	rp.Nb = int64(h.NumBlocks())
 	return rp
-}
-
-// sameStructureOperand clones x with fresh deterministic values (the
-// second Tew operand: same non-zero pattern, different data).
-func sameStructureOperand(x *tensor.COO, seed int64) *tensor.COO {
-	y := x.Clone()
-	rng := rand.New(rand.NewSource(seed))
-	for i := range y.Vals {
-		y.Vals[i] = tensor.Value(1 - rng.Float64())
-	}
-	return y
-}
-
-// factorMatrices builds deterministic random factor matrices for Mttkrp.
-func factorMatrices(x *tensor.COO, r int, seed int64) []*tensor.Matrix {
-	rng := rand.New(rand.NewSource(seed))
-	mats := make([]*tensor.Matrix, x.Order())
-	for n := range mats {
-		mats[n] = tensor.NewMatrix(int(x.Dims[n]), r)
-		mats[n].Randomize(rng)
-	}
-	return mats
 }

@@ -1,10 +1,12 @@
 package metrics
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"repro/internal/platform"
+	"repro/internal/resilience"
 	"repro/internal/roofline"
 	"repro/internal/tensor"
 )
@@ -174,27 +176,45 @@ func TestSourceString(t *testing.T) {
 	}
 }
 
-func TestSameStructureOperandSharesPattern(t *testing.T) {
-	x := testTensor(5)
-	y := sameStructureOperand(x, 9)
-	if y.NNZ() != x.NNZ() {
-		t.Fatal("pattern size changed")
-	}
-	for n := range x.Inds {
-		for i := range x.Inds[n] {
-			if x.Inds[n][i] != y.Inds[n][i] {
-				t.Fatal("pattern differs")
-			}
+// TestMeasureHostRegistryFormats exercises the formats the registry
+// wired into the harness beyond COO/HiCOO: CSF is measured on its OMP
+// variant, fCOO (GPU-only) on the simulated device.
+func TestMeasureHostRegistryFormats(t *testing.T) {
+	host := platform.Host()
+	x := testTensor(7)
+	cfg := quickConfig()
+	for _, c := range []struct {
+		k roofline.Kernel
+		f roofline.Format
+	}{
+		{roofline.Ttv, roofline.CSF},
+		{roofline.Mttkrp, roofline.CSF},
+		{roofline.Ttv, roofline.FCOO},
+		{roofline.Mttkrp, roofline.FCOO},
+	} {
+		r, err := MeasureHost(&host, x, c.k, c.f, cfg)
+		if err != nil {
+			t.Fatalf("%v/%v: %v", c.k, c.f, err)
+		}
+		if r.GFLOPS <= 0 || r.TimeSec <= 0 || r.Flops <= 0 || r.Roofline <= 0 {
+			t.Fatalf("%v/%v: degenerate result %+v", c.k, c.f, r)
 		}
 	}
-	same := true
-	for i := range x.Vals {
-		if x.Vals[i] != y.Vals[i] {
-			same = false
-			break
-		}
+}
+
+// TestMeasureHostUnsupportedTyped pins the fixed unknown-format path: a
+// (kernel, format) with no registered variant fails with the typed
+// resilience taxonomy, not a bare fmt.Errorf, so pastabench outcome
+// aggregation can classify it.
+func TestMeasureHostUnsupportedTyped(t *testing.T) {
+	host := platform.Host()
+	x := testTensor(8)
+	_, err := MeasureHost(&host, x, roofline.Tew, roofline.CSF, quickConfig())
+	if !errors.Is(err, resilience.ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
 	}
-	if same {
-		t.Fatal("values identical; want fresh data")
+	var ke *resilience.KernelError
+	if !errors.As(err, &ke) || ke.Label.Kernel != "Tew" || ke.Label.Format != "CSF" {
+		t.Fatalf("err not a labeled KernelError: %v", err)
 	}
 }

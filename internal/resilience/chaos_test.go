@@ -1,25 +1,26 @@
 package resilience_test
 
-// The chaos matrix: every kernel × format × backend combination is run
-// under injected worker panics (transient and persistent), stalls past
-// the trial deadline, and failed gpusim launches. The invariant under
-// test is the suite's robustness contract: an injected fault yields a
-// typed error or a verified fallback result — never a process crash —
-// and a trial that exceeds its deadline reports ErrDeadline within 2×
-// the configured timeout.
+// The chaos matrix: every variant the kernelreg registry knows — kernel
+// × format × backend, including CSF and fCOO — is run under injected
+// worker panics (transient and persistent), stalls past the trial
+// deadline, and failed gpusim launches. The matrix enumerates
+// kernelreg.All(), so registering a new variant chaos-covers it without
+// editing this test. The invariant under test is the suite's robustness
+// contract: an injected fault yields a typed error or a verified
+// fallback result — never a process crash — and a trial that exceeds its
+// deadline reports ErrDeadline within 2× the configured timeout.
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/gpusim"
-	"repro/internal/hicoo"
+	"repro/internal/kernelreg"
 	"repro/internal/parallel"
 	"repro/internal/resilience"
 	"repro/internal/tensor"
@@ -30,338 +31,114 @@ const (
 	chaosNNZ      = 2000
 	chaosR        = 8
 	chaosBits     = 3
+	chaosSegSize  = 64 // small segments → many blocks → many fault sites
 	chaosThreads  = 4
+	chaosTol      = 2e-3
 	chaosTimeout  = 250 * time.Millisecond
 	chaosStallFor = 5 * time.Second // far past the deadline; ctx-bounded
 )
-
-// trialSetup is one scenario's freshly-built execution closures. Every
-// trial gets its own plans so an attempt abandoned at the deadline can
-// never write into a buffer a later rung (or scenario) is reading.
-type trialSetup struct {
-	primary func(ctx context.Context) error // rung 0 on the scenario backend
-	serial  func(ctx context.Context) error // fallback rung, hook-free
-	verify  func() error                    // fallback output vs golden reference
-}
 
 func chaosOpt(ctx context.Context) parallel.Options {
 	return parallel.Options{Ctx: ctx, Threads: chaosThreads, Schedule: parallel.Dynamic}
 }
 
-func approxEqual(got, want []tensor.Value) error {
-	if len(got) != len(want) {
-		return fmt.Errorf("length %d vs reference %d", len(got), len(want))
-	}
-	for i := range got {
-		d := math.Abs(float64(got[i]) - float64(want[i]))
-		scale := math.Max(math.Abs(float64(want[i])), 1)
-		if d > 2e-3*scale {
-			return fmt.Errorf("index %d: got %v, reference %v", i, got[i], want[i])
-		}
-	}
-	return nil
+// chaosBench builds one scenario's workbench: a fresh tensor and config
+// per scenario, so an attempt abandoned at the deadline can never write
+// into a buffer a later scenario is reading.
+func chaosBench() *kernelreg.Workbench {
+	rng := rand.New(rand.NewSource(11))
+	x := tensor.RandomCOO([]tensor.Index{chaosDims, chaosDims, chaosDims}, chaosNNZ, rng)
+	return kernelreg.NewWorkbench(x, kernelreg.Config{
+		R: chaosR, BlockBits: chaosBits, SegSize: chaosSegSize,
+		Sched: parallel.Options{Threads: chaosThreads, Schedule: parallel.Dynamic},
+	})
 }
 
-func chaosInputs(seed int64) (*tensor.COO, *tensor.COO, tensor.Vector, *tensor.Matrix, []*tensor.Matrix) {
-	rng := rand.New(rand.NewSource(seed))
-	dims := []tensor.Index{chaosDims, chaosDims, chaosDims}
-	x := tensor.RandomCOO(dims, chaosNNZ, rng)
-	y := x.Clone()
-	for i := range y.Vals {
-		y.Vals[i] = y.Vals[i]*0.5 + 1
-	}
-	v := make(tensor.Vector, chaosDims)
-	for i := range v {
-		v[i] = tensor.Value(rng.Float64())
-	}
-	u := tensor.NewMatrix(chaosDims, chaosR)
-	u.Randomize(rng)
-	mats := make([]*tensor.Matrix, x.Order())
-	for n := range mats {
-		mats[n] = tensor.NewMatrix(int(x.Dims[n]), chaosR)
-		mats[n].Randomize(rng)
-	}
-	return x, y, v, u, mats
-}
-
-// gpuExec wraps a launch-based closure so the device observes the trial
-// context for cooperative mid-grid abort.
-func gpuExec(dev *gpusim.Device, run func() error) func(ctx context.Context) error {
-	return func(ctx context.Context) error {
-		dev.SetContext(ctx)
-		defer dev.SetContext(nil)
-		return run()
-	}
-}
-
-// buildSetup constructs fresh plans for one kernel/format/backend trial
-// and the closures the ladder runs. gpu == nil selects the OMP backend.
-func buildSetup(t *testing.T, kernel, format string, dev *gpusim.Device) trialSetup {
-	t.Helper()
-	x, y, v, u, mats := chaosInputs(11)
-	gpu := dev != nil
-	must := func(err error) {
-		t.Helper()
-		if err != nil {
-			t.Fatalf("setup %s/%s: %v", kernel, format, err)
-		}
-	}
-
-	switch kernel + "/" + format {
-	case "Tew/COO":
-		golden, err := core.PrepareTew(x, y, core.Add)
-		must(err)
-		golden.ExecuteSeq()
-		prim, err := core.PrepareTew(x, y, core.Add)
-		must(err)
-		fall, err := core.PrepareTew(x, y, core.Add)
-		must(err)
-		primary := func(ctx context.Context) error { prim.ExecuteOMP(chaosOpt(ctx)); return nil }
-		if gpu {
-			primary = gpuExec(dev, func() error { prim.ExecuteGPU(dev); return nil })
-		}
-		return trialSetup{
-			primary: primary,
-			serial:  func(context.Context) error { fall.ExecuteSeq(); return nil },
-			verify:  func() error { return approxEqual(fall.Out.Vals, golden.Out.Vals) },
-		}
-	case "Tew/HiCOO":
-		hx, hy := hicoo.FromCOO(x, chaosBits), hicoo.FromCOO(y, chaosBits)
-		golden, err := core.PrepareTewHiCOO(hx, hy, core.Add)
-		must(err)
-		gold := golden.ExecuteSeq()
-		prim, err := core.PrepareTewHiCOO(hx, hy, core.Add)
-		must(err)
-		fall, err := core.PrepareTewHiCOO(hx, hy, core.Add)
-		must(err)
-		var fallOut *hicoo.HiCOO
-		primary := func(ctx context.Context) error { prim.ExecuteOMP(chaosOpt(ctx)); return nil }
-		if gpu {
-			primary = gpuExec(dev, func() error { prim.ExecuteGPU(dev); return nil })
-		}
-		return trialSetup{
-			primary: primary,
-			serial:  func(context.Context) error { fallOut = fall.ExecuteSeq(); return nil },
-			verify:  func() error { return approxEqual(fallOut.Vals, gold.Vals) },
-		}
-	case "Ts/COO":
-		golden, err := core.PrepareTs(x, 2.5, core.Mul)
-		must(err)
-		golden.ExecuteSeq()
-		prim, err := core.PrepareTs(x, 2.5, core.Mul)
-		must(err)
-		fall, err := core.PrepareTs(x, 2.5, core.Mul)
-		must(err)
-		primary := func(ctx context.Context) error { prim.ExecuteOMP(chaosOpt(ctx)); return nil }
-		if gpu {
-			primary = gpuExec(dev, func() error { prim.ExecuteGPU(dev); return nil })
-		}
-		return trialSetup{
-			primary: primary,
-			serial:  func(context.Context) error { fall.ExecuteSeq(); return nil },
-			verify:  func() error { return approxEqual(fall.Out.Vals, golden.Out.Vals) },
-		}
-	case "Ts/HiCOO":
-		hx := hicoo.FromCOO(x, chaosBits)
-		golden, err := core.PrepareTsHiCOO(hx, 2.5, core.Mul)
-		must(err)
-		gold := golden.ExecuteSeq()
-		prim, err := core.PrepareTsHiCOO(hx, 2.5, core.Mul)
-		must(err)
-		fall, err := core.PrepareTsHiCOO(hx, 2.5, core.Mul)
-		must(err)
-		var fallOut *hicoo.HiCOO
-		primary := func(ctx context.Context) error { prim.ExecuteOMP(chaosOpt(ctx)); return nil }
-		if gpu {
-			primary = gpuExec(dev, func() error { prim.ExecuteGPU(dev); return nil })
-		}
-		return trialSetup{
-			primary: primary,
-			serial:  func(context.Context) error { fallOut = fall.ExecuteSeq(); return nil },
-			verify:  func() error { return approxEqual(fallOut.Vals, gold.Vals) },
-		}
-	case "Ttv/COO":
-		golden, err := core.PrepareTtv(x, 0)
-		must(err)
-		_, err = golden.ExecuteSeq(v)
-		must(err)
-		prim, err := core.PrepareTtv(x, 0)
-		must(err)
-		fall, err := core.PrepareTtv(x, 0)
-		must(err)
-		primary := func(ctx context.Context) error { _, err := prim.ExecuteOMP(v, chaosOpt(ctx)); return err }
-		if gpu {
-			primary = gpuExec(dev, func() error { _, err := prim.ExecuteGPU(dev, v); return err })
-		}
-		return trialSetup{
-			primary: primary,
-			serial:  func(context.Context) error { _, err := fall.ExecuteSeq(v); return err },
-			verify:  func() error { return approxEqual(fall.Out.Vals, golden.Out.Vals) },
-		}
-	case "Ttv/HiCOO":
-		golden, err := core.PrepareTtvHiCOO(x, 0, chaosBits)
-		must(err)
-		_, err = golden.ExecuteSeq(v)
-		must(err)
-		prim, err := core.PrepareTtvHiCOO(x, 0, chaosBits)
-		must(err)
-		fall, err := core.PrepareTtvHiCOO(x, 0, chaosBits)
-		must(err)
-		primary := func(ctx context.Context) error { _, err := prim.ExecuteOMP(v, chaosOpt(ctx)); return err }
-		if gpu {
-			primary = gpuExec(dev, func() error { _, err := prim.ExecuteGPU(dev, v); return err })
-		}
-		return trialSetup{
-			primary: primary,
-			serial:  func(context.Context) error { _, err := fall.ExecuteSeq(v); return err },
-			verify:  func() error { return approxEqual(fall.Out.Vals, golden.Out.Vals) },
-		}
-	case "Ttm/COO":
-		golden, err := core.PrepareTtm(x, 0, chaosR)
-		must(err)
-		_, err = golden.ExecuteSeq(u)
-		must(err)
-		prim, err := core.PrepareTtm(x, 0, chaosR)
-		must(err)
-		fall, err := core.PrepareTtm(x, 0, chaosR)
-		must(err)
-		primary := func(ctx context.Context) error { _, err := prim.ExecuteOMP(u, chaosOpt(ctx)); return err }
-		if gpu {
-			primary = gpuExec(dev, func() error { _, err := prim.ExecuteGPU(dev, u); return err })
-		}
-		return trialSetup{
-			primary: primary,
-			serial:  func(context.Context) error { _, err := fall.ExecuteSeq(u); return err },
-			verify:  func() error { return approxEqual(fall.Out.Vals, golden.Out.Vals) },
-		}
-	case "Ttm/HiCOO":
-		golden, err := core.PrepareTtmHiCOO(x, 0, chaosR, chaosBits)
-		must(err)
-		_, err = golden.ExecuteSeq(u)
-		must(err)
-		prim, err := core.PrepareTtmHiCOO(x, 0, chaosR, chaosBits)
-		must(err)
-		fall, err := core.PrepareTtmHiCOO(x, 0, chaosR, chaosBits)
-		must(err)
-		primary := func(ctx context.Context) error { _, err := prim.ExecuteOMP(u, chaosOpt(ctx)); return err }
-		if gpu {
-			primary = gpuExec(dev, func() error { _, err := prim.ExecuteGPU(dev, u); return err })
-		}
-		return trialSetup{
-			primary: primary,
-			serial:  func(context.Context) error { _, err := fall.ExecuteSeq(u); return err },
-			verify:  func() error { return approxEqual(fall.Out.Vals, golden.Out.Vals) },
-		}
-	case "Mttkrp/COO":
-		golden, err := core.PrepareMttkrp(x, 0, chaosR)
-		must(err)
-		_, err = golden.ExecuteSeq(mats)
-		must(err)
-		prim, err := core.PrepareMttkrp(x, 0, chaosR)
-		must(err)
-		fall, err := core.PrepareMttkrp(x, 0, chaosR)
-		must(err)
-		primary := func(ctx context.Context) error { _, err := prim.ExecuteOMP(mats, chaosOpt(ctx)); return err }
-		if gpu {
-			primary = gpuExec(dev, func() error { _, err := prim.ExecuteGPU(dev, mats); return err })
-		}
-		return trialSetup{
-			primary: primary,
-			serial:  func(context.Context) error { _, err := fall.ExecuteSeq(mats); return err },
-			verify:  func() error { return approxEqual(fall.Out.Data, golden.Out.Data) },
-		}
-	case "Mttkrp/HiCOO":
-		hx := hicoo.FromCOO(x, chaosBits)
-		golden, err := core.PrepareMttkrpHiCOO(hx, 0, chaosR)
-		must(err)
-		_, err = golden.ExecuteSeq(mats)
-		must(err)
-		prim, err := core.PrepareMttkrpHiCOO(hx, 0, chaosR)
-		must(err)
-		fall, err := core.PrepareMttkrpHiCOO(hx, 0, chaosR)
-		must(err)
-		primary := func(ctx context.Context) error { _, err := prim.ExecuteOMP(mats, chaosOpt(ctx)); return err }
-		if gpu {
-			primary = gpuExec(dev, func() error { _, err := prim.ExecuteGPU(dev, mats); return err })
-		}
-		return trialSetup{
-			primary: primary,
-			serial:  func(context.Context) error { _, err := fall.ExecuteSeq(mats); return err },
-			verify:  func() error { return approxEqual(fall.Out.Data, golden.Out.Data) },
-		}
-	}
-	t.Fatalf("unknown scenario %s/%s", kernel, format)
-	return trialSetup{}
-}
-
-// TestChaosMatrix drives every kernel × format × backend combination
-// through each fault mode and asserts the robustness contract.
+// TestChaosMatrix drives every registered variant through each fault
+// mode and asserts the robustness contract.
 func TestChaosMatrix(t *testing.T) {
-	kernels := []string{"Tew", "Ts", "Ttv", "Ttm", "Mttkrp"}
-	formats := []string{"COO", "HiCOO"}
-	backends := []string{"omp", "gpu"}
-
 	type faultCase struct {
 		name  string
 		fault resilience.Fault
 		nth   int64 // 0 = every call (persistent)
 		want  resilience.Outcome
 	}
-	for _, kernel := range kernels {
-		for _, format := range formats {
-			for _, backend := range backends {
-				faults := []faultCase{
-					{"panic-once", resilience.FaultPanic, 1, resilience.OutcomeRecovered},
-					{"panic-persistent", resilience.FaultPanic, 0, resilience.OutcomeFellBack},
-					{"stall", resilience.FaultStall, 1, resilience.OutcomeTimeout},
-				}
-				if backend == "gpu" {
-					faults = append(faults,
-						faultCase{"launch-fail", resilience.FaultLaunchFail, 0, resilience.OutcomeFellBack})
-				}
-				for _, fc := range faults {
-					name := fmt.Sprintf("%s/%s/%s/%s", kernel, format, backend, fc.name)
-					t.Run(name, func(t *testing.T) {
-						runChaosScenario(t, kernel, format, backend, fc.fault, fc.nth, fc.want)
-					})
-				}
-			}
+	for _, v := range kernelreg.All() {
+		faults := []faultCase{
+			{"panic-once", resilience.FaultPanic, 1, resilience.OutcomeRecovered},
+			{"panic-persistent", resilience.FaultPanic, 0, resilience.OutcomeFellBack},
+			{"stall", resilience.FaultStall, 1, resilience.OutcomeTimeout},
+		}
+		if v.Backend != kernelreg.OMP {
+			faults = append(faults,
+				faultCase{"launch-fail", resilience.FaultLaunchFail, 0, resilience.OutcomeFellBack})
+		}
+		for _, fc := range faults {
+			v, fc := v, fc
+			name := fmt.Sprintf("%s/%s/%s/%s", v.Kernel, v.Format, v.Backend, fc.name)
+			t.Run(name, func(t *testing.T) {
+				runChaosScenario(t, v, fc.fault, fc.nth, fc.want)
+			})
 		}
 	}
 }
 
-func runChaosScenario(t *testing.T, kernel, format, backend string, fault resilience.Fault, nth int64, want resilience.Outcome) {
-	var dev *gpusim.Device
-	if backend == "gpu" {
-		dev = gpusim.NewDevice("chaos-gpu", chaosThreads)
+func runChaosScenario(t *testing.T, v *kernelreg.Variant, fault resilience.Fault, nth int64, want resilience.Outcome) {
+	wb := chaosBench()
+	// The golden reference and both instances are built before any hook
+	// is installed; prim and fall are separate instances so a straggler
+	// abandoned on the primary rung cannot race the fallback's buffers.
+	golden, err := wb.Reference(context.Background(), v.Kernel, 0)
+	if err != nil {
+		t.Fatalf("setup reference: %v", err)
 	}
-	setup := buildSetup(t, kernel, format, dev)
+	prim, err := v.Prepare(wb, 0)
+	if err != nil {
+		t.Fatalf("setup primary: %v", err)
+	}
+	fall, err := v.Prepare(wb, 0)
+	if err != nil {
+		t.Fatalf("setup fallback: %v", err)
+	}
 
 	in := resilience.NewInjector(1)
 	chaosCtx, cancel := context.WithCancel(context.Background())
 	in.Arm(chaosCtx, fault, nth, chaosStallFor)
 	in.Install()
-	if dev != nil {
-		in.InstallDevice(dev)
+	var devs []*gpusim.Device
+	switch v.Backend {
+	case kernelreg.GPU:
+		devs = []*gpusim.Device{wb.Device()}
+	case kernelreg.MultiGPU:
+		devs = wb.Devices()
+	}
+	for _, d := range devs {
+		in.InstallDevice(d)
 	}
 	defer func() {
 		in.Uninstall()
-		if dev != nil {
-			in.UninstallDevice(dev)
+		for _, d := range devs {
+			in.UninstallDevice(d)
 		}
 		cancel() // unblock any still-stalled worker
 	}()
 
+	backend := v.Backend.String()
 	runner := &resilience.Runner{DrainGrace: 50 * time.Millisecond}
 	trial := resilience.Trial{
-		Label:   resilience.Label{Kernel: kernel, Format: format, Backend: backend},
+		Label:   v.Label(),
 		Timeout: chaosTimeout,
 		Retries: 2,
 		Rungs: []resilience.Rung{
-			{Backend: backend, Exec: setup.primary},
-			{Backend: "serial", Exec: setup.serial},
+			{Backend: backend, Exec: prim.Run},
+			{Backend: "serial", Exec: fall.Serial},
 		},
-		Verify: setup.verify,
+		Verify: func() error {
+			if dev := kernelreg.Compare(fall.Output(), golden); dev > chaosTol {
+				return fmt.Errorf("fallback deviates %.2e from reference", dev)
+			}
+			return nil
+		},
 	}
 
 	start := time.Now()

@@ -51,6 +51,9 @@ var (
 	// ErrBreakerOpen marks a rung skipped because its backend's circuit
 	// breaker is open.
 	ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+	// ErrUnsupported marks a (kernel, format, backend) combination with no
+	// registered implementation — a lookup failure, not a runtime fault.
+	ErrUnsupported = errors.New("resilience: kernel variant not registered")
 )
 
 // Label identifies the trial a failure belongs to in reports and error

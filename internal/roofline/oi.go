@@ -50,11 +50,24 @@ const (
 	COO Format = iota
 	// HiCOO is the hierarchical coordinate format.
 	HiCOO
+	// CSF is SPLATT's compressed sparse fiber format (§7's next format).
+	CSF
+	// FCOO is the flagged-COO format of Liu et al. (segmented reductions).
+	FCOO
 )
 
+// Formats lists every format the suite implements kernels for, in the
+// order harness tables enumerate them.
+var Formats = []Format{COO, HiCOO, CSF, FCOO}
+
 func (f Format) String() string {
-	if f == HiCOO {
+	switch f {
+	case HiCOO:
 		return "HiCOO"
+	case CSF:
+		return "CSF"
+	case FCOO:
+		return "fCOO"
 	}
 	return "COO"
 }
@@ -108,6 +121,17 @@ func Bytes(k Kernel, f Format, p Params) int64 {
 		// Read input values, write output values.
 		return 8 * p.M
 	case Ttv:
+		if f == CSF {
+			// Fiber-compressed indices: 4M values + 4M leaf indices + 4M
+			// vector gathers amortize to the same leading term as COO, but
+			// upper-level node indices are per-fiber, not per-nonzero.
+			return 12*p.M + 4*(n-1)*p.MF + 4*n*p.MF
+		}
+		if f == FCOO {
+			// COO traffic + one start-flag bit per nonzero for the
+			// segmented reduction.
+			return 12*p.M + p.M/8 + 4*n*p.MF
+		}
 		// 4M values + 4M product-mode indices + 4M irregular vector
 		// accesses, plus the output's N-1 index arrays and values.
 		return 12*p.M + 4*n*p.MF
@@ -116,6 +140,18 @@ func Bytes(k Kernel, f Format, p Params) int64 {
 		// 4·MF·R output values, 4(N-1)·MF output indices.
 		return 8*p.M + 4*p.M*p.R + 4*p.MF*p.R + 4*(n-1)*p.MF
 	case Mttkrp:
+		if f == CSF {
+			// 8M leaf values+indices and 4MR leaf-mode factor reads per
+			// nonzero, but the N-1 upper-level factor rows and node
+			// indices are read once per fiber, plus 8MF fiber pointers.
+			return 8*p.M + 4*p.M*p.R + 4*(n-1)*p.MF*p.R + 4*(n-1)*p.MF + 8*p.MF
+		}
+		if f == FCOO {
+			// 8M values + product-mode indices, 4(N-1)M other-mode
+			// indices, 4(N-1)MR factor gathers, the start-flag bitmap,
+			// and one R-wide output flush per segment head (~MF of them).
+			return 8*p.M + 4*(n-1)*p.M + 4*(n-1)*p.M*p.R + p.M/8 + 4*p.R*p.MF
+		}
 		if f == HiCOO {
 			// 4NR·min(nb·B, M) blocked matrix traffic + (4+N)M values and
 			// 8-bit element indices + (8+4N)nb block pointers and indices.
