@@ -32,6 +32,11 @@ type jsonRow struct {
 	Source     string  `json:"source"`             // "modeled" | "measured"
 	Strategy   string  `json:"strategy,omitempty"` // reduction strategy of measured reduction kernels
 	Outcome    string  `json:"outcome,omitempty"`  // resilience outcome summary of guarded measured rows
+	// TrialSec and Counters only appear on measured rows (and Counters
+	// only when -counters armed the registry), so pre-existing series
+	// files parse and re-serialize byte-identically.
+	TrialSec []float64        `json:"trial_sec,omitempty"` // per-trial wall-clock seconds of measured rows
+	Counters map[string]int64 `json:"counters,omitempty"`  // obs counter deltas attributed to the measurement
 }
 
 // jsonFigure is the -json document for one figure.
@@ -258,6 +263,7 @@ func runFigure(o options, fig, platName string) {
 							GFLOPS: m.GFLOPS, Roofline: m.Roofline,
 							Efficiency: m.Efficiency, Source: m.Source.String(),
 							Strategy: m.Strategy, Outcome: m.Outcome,
+							TrialSec: m.TrialSec, Counters: m.Counters,
 						})
 						if m.Strategy != "" {
 							strs = append(strs, m.Strategy)
@@ -285,6 +291,7 @@ func runFigure(o options, fig, platName string) {
 	}
 	fmt.Println("\nColumns per kernel (registered formats): -C = COO, -H = HiCOO, -S = CSF, -F = fCOO; Roofline = per-tensor attainable bound (COO OI).")
 	writeFigureJSON(o, fig, doc)
+	recordBaselineRows(doc)
 	if o.plot {
 		for _, k := range roofline.Kernels {
 			fmt.Println()

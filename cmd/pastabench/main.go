@@ -41,6 +41,16 @@ type options struct {
 	timeout     time.Duration
 	fallback    bool
 	chaosSeed   int64
+
+	// Observability (see DESIGN.md §11).
+	trace       string
+	traceBlocks bool
+	counters    bool
+	profile     string
+	pprofAddr   string
+	baselineDir string
+	check       bool
+	checkTol    float64
 }
 
 func main() {
@@ -61,6 +71,14 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 0, "deadline per guarded host-measurement trial, e.g. 30s (0 disables)")
 	flag.BoolVar(&o.fallback, "fallback", false, "degrade a faulting measurement to the serial rung instead of failing")
 	flag.Int64Var(&o.chaosSeed, "chaos-seed", 0, "non-zero: inject deterministic faults into host measurement (fault drill)")
+	flag.StringVar(&o.trace, "trace", "", "write a Chrome trace_event JSON of the run to this file (about:tracing / Perfetto)")
+	flag.BoolVar(&o.traceBlocks, "trace-blocks", false, "with -trace: also record one span per simulated-GPU thread block (large traces)")
+	flag.BoolVar(&o.counters, "counters", false, "enable runtime counters and print their summary after the experiments")
+	flag.StringVar(&o.profile, "profile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+	flag.StringVar(&o.baselineDir, "baseline", "", "directory of per-variant GFLOPS baselines (results/series or pstb-baseline files)")
+	flag.BoolVar(&o.check, "check", false, "with -baseline: compare this run's figure rows against the baselines; exit non-zero on regression")
+	flag.Float64Var(&o.checkTol, "check-tol", 0.5, "relative tolerance band for -check (0.5 = flag drops below 50% of baseline)")
 	flag.Parse()
 
 	if o.r < 1 {
@@ -104,9 +122,16 @@ func main() {
 			selected = append(selected, e)
 		}
 	}
+	if err := startObs(o); err != nil {
+		fmt.Fprintln(os.Stderr, "pastabench:", err)
+		os.Exit(2)
+	}
 	for _, e := range selected {
 		known[e](o)
 		fmt.Println()
+	}
+	if code := finishObs(); code != 0 {
+		os.Exit(code)
 	}
 }
 

@@ -1,0 +1,116 @@
+// Command pastatrace inspects the Chrome trace_event JSON files that
+// pastabench -trace and pastaverify -trace write.
+//
+//	pastatrace -validate trace.json   # exit non-zero when malformed
+//	pastatrace -summary trace.json    # where-did-the-time-go table
+//
+// -validate is the structural gate CI runs on trace artifacts: every
+// event must carry a name, non-negative timestamps monotone per
+// (pid, tid) lane, and B/E duration events must pair up. -summary
+// aggregates interval events by (category, name) with count, total,
+// mean, and max durations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		validate = flag.Bool("validate", false, "check each file's structural invariants; exit 1 on the first violation")
+		summary  = flag.Bool("summary", false, "print a per-(category, name) duration table for each file")
+	)
+	flag.Parse()
+	if !*validate && !*summary {
+		*validate = true // bare invocation validates
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pastatrace [-validate] [-summary] trace.json...")
+		os.Exit(2)
+	}
+	code := 0
+	for _, path := range flag.Args() {
+		if err := inspect(path, *validate, *summary); err != nil {
+			fmt.Fprintf(os.Stderr, "pastatrace: %s: %v\n", path, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func inspect(path string, validate, summary bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	evs, err := obs.ParseChromeTrace(data)
+	if err != nil {
+		return err
+	}
+	if validate {
+		if err := obs.ValidateChromeTrace(data); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d events, valid\n", path, len(evs))
+	}
+	if summary {
+		printSummary(path, evs)
+	}
+	return nil
+}
+
+// eventAgg is the -summary aggregation bucket for one (cat, name).
+type eventAgg struct {
+	cat, name  string
+	count      int
+	totalUs    float64
+	maxUs      float64
+	firstIndex int
+}
+
+func printSummary(path string, evs []obs.TraceEvent) {
+	agg := map[[2]string]*eventAgg{}
+	instants := 0
+	for i, ev := range evs {
+		switch ev.Ph {
+		case "i", "I":
+			instants++
+			continue
+		case "X":
+		default:
+			continue // B/E and metadata carry no self-contained duration
+		}
+		k := [2]string{ev.Cat, ev.Name}
+		a := agg[k]
+		if a == nil {
+			a = &eventAgg{cat: ev.Cat, name: ev.Name, firstIndex: i}
+			agg[k] = a
+		}
+		a.count++
+		a.totalUs += ev.Dur
+		if ev.Dur > a.maxUs {
+			a.maxUs = ev.Dur
+		}
+	}
+	rows := make([]*eventAgg, 0, len(agg))
+	for _, a := range agg {
+		rows = append(rows, a)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].totalUs != rows[j].totalUs {
+			return rows[i].totalUs > rows[j].totalUs
+		}
+		return rows[i].firstIndex < rows[j].firstIndex
+	})
+	fmt.Printf("%s: %d events (%d instants)\n", path, len(evs), instants)
+	fmt.Printf("%-10s %-26s %8s %14s %14s %14s\n", "category", "name", "count", "total(ms)", "mean(us)", "max(us)")
+	for _, a := range rows {
+		fmt.Printf("%-10s %-26s %8d %14.3f %14.1f %14.1f\n",
+			a.cat, a.name, a.count, a.totalUs/1e3, a.totalUs/float64(a.count), a.maxUs)
+	}
+}

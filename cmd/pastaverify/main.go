@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/kernelreg"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/tensor"
 )
@@ -42,8 +43,12 @@ func main() {
 		kernelF = flag.String("kernel", "", "only verify kernels matching this substring (e.g. mttkrp)")
 		formatF = flag.String("format", "", "only verify formats matching this substring (e.g. csf)")
 		backF   = flag.String("backend", "", "only verify backends matching this substring (e.g. gpu)")
+		trace   = flag.String("trace", "", "write a Chrome trace_event JSON of the verification sweep to this file")
 	)
 	flag.Parse()
+	if *trace != "" {
+		obs.Enable(obs.New())
+	}
 
 	match := func(v *kernelreg.Variant) bool {
 		return containsFold(v.Kernel.String(), *kernelF) &&
@@ -102,11 +107,31 @@ func main() {
 		runCase(c.name, c.x, match, *tol, *timeout)
 		fmt.Println()
 	}
+	flushTrace(*trace)
 	if failures > 0 {
 		fmt.Printf("FAILED: %d checks exceeded tolerance\n", failures)
 		os.Exit(1)
 	}
 	fmt.Println("all implementations agree")
+}
+
+// flushTrace exports the verification sweep's spans; an unwritable
+// trace counts as a failure so CI cannot ship a missing artifact.
+func flushTrace(path string) {
+	if path == "" {
+		return
+	}
+	tr := obs.Disable()
+	if tr == nil {
+		return
+	}
+	spans := tr.Spans()
+	if err := obs.WriteChromeTraceFile(path, spans); err != nil {
+		fmt.Fprintln(os.Stderr, "pastaverify: -trace:", err)
+		failures++
+		return
+	}
+	fmt.Printf("(%d spans written to %s)\n", len(spans), path)
 }
 
 // containsFold reports whether s contains the filter, ignoring case; an

@@ -23,7 +23,16 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
+)
+
+// Device-wide observability counters. Launches and blocks are
+// per-kernel-call granularity (rare relative to thread work), so they
+// count unconditionally whenever counting is enabled.
+var (
+	ctrLaunches = obs.GetCounter("gpusim.launches")
+	ctrBlocks   = obs.GetCounter("gpusim.blocks")
 )
 
 // Dim3 mirrors CUDA's dim3 launch geometry.
@@ -172,6 +181,8 @@ func (d *Device) Launch(grid, block Dim3, kernel Kernel) LaunchStats {
 // parallel.ErrDeadline when the device context expired mid-grid. Device
 // counters only advance on a fully completed launch.
 func (d *Device) TryLaunch(grid, block Dim3, kernel Kernel) (LaunchStats, error) {
+	sp := obs.Begin("gpusim.launch", d.Name, obs.PhaseLaunch, -1)
+	defer sp.End()
 	st := LaunchStats{Grid: grid, Block: block}
 	// A zero or negative X axis is an invalid launch (CUDA's
 	// cudaErrorInvalidConfiguration); zero Y/Z keep their documented
@@ -197,6 +208,13 @@ func (d *Device) TryLaunch(grid, block Dim3, kernel Kernel) (LaunchStats, error)
 	var blockHook func(int)
 	if p := d.blockHook.Load(); p != nil {
 		blockHook = *p
+	}
+	// Per-block spans are opt-in (obs.WithBlockSpans): a large grid emits
+	// one span per block, which is exactly what about:tracing block-level
+	// occupancy views want and far too much for everything else.
+	var blockTracer *obs.Tracer
+	if t := obs.Current(); t != nil && t.BlockSpans() {
+		blockTracer = t
 	}
 
 	nBlocks := grid.Count()
@@ -253,6 +271,8 @@ func (d *Device) TryLaunch(grid, block Dim3, kernel Kernel) (LaunchStats, error)
 							abort.Store(true)
 						}
 					}()
+					bsp := obs.BeginOn(blockTracer, "gpusim.block", d.Name, obs.PhaseChunk, b)
+					defer bsp.End()
 					if blockHook != nil {
 						blockHook(b)
 					}
@@ -277,6 +297,10 @@ func (d *Device) TryLaunch(grid, block Dim3, kernel Kernel) (LaunchStats, error)
 	d.blocksLaunched.Add(int64(st.Blocks))
 	d.threadsLaunched.Add(int64(st.Threads))
 	d.kernelsLaunched.Add(1)
+	if obs.Counting() {
+		ctrLaunches.Inc()
+		ctrBlocks.Add(int64(st.Blocks))
+	}
 	return st, nil
 }
 

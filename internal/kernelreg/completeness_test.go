@@ -71,6 +71,34 @@ func TestRegistryComplete(t *testing.T) {
 	}
 }
 
+// TestRegistryObsLabelsStable is the observability half of the
+// completeness lint: counters and spans attribute work by
+// Variant.String() and trials by Label().String(), so every registered
+// variant must render a non-empty label, no two variants may collide,
+// and the two renderings must agree — a duplicate or empty label would
+// silently merge two variants' counters into one trace lane.
+func TestRegistryObsLabelsStable(t *testing.T) {
+	seen := make(map[string]*Variant, len(All()))
+	for _, v := range All() {
+		s := v.String()
+		if s == "" {
+			t.Errorf("variant %+v renders an empty String()", v)
+			continue
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("variants %+v and %+v share the label %q", prev, v, s)
+		}
+		seen[s] = v
+		l := v.Label().String()
+		if l == "" {
+			t.Errorf("%s renders an empty resilience label", s)
+		}
+		if l != s {
+			t.Errorf("%s: Variant.String() and Label().String() disagree (%q vs %q); spans and trial outcomes would land under different keys", s, s, l)
+		}
+	}
+}
+
 // TestLookupAndGrid covers the registry's query surface: exact lookups
 // round-trip, misses carry the typed taxonomy error, the grid lists
 // every (kernel, format) exactly once, and the host-variant preference

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/roofline"
 	"repro/internal/tensor"
@@ -137,6 +138,16 @@ func Register(v *Variant) {
 	key := regKey{v.Kernel, v.Format, v.Backend}
 	if _, dup := index[key]; dup {
 		panic(fmt.Sprintf("kernelreg: duplicate variant %s", v))
+	}
+	// Wrap Prepare once so every harness gets the preprocessing span for
+	// free; the label is rendered here rather than per call because
+	// Variant.String allocates.
+	prep := v.Prepare
+	label := v.String()
+	v.Prepare = func(wb *Workbench, mode int) (*Instance, error) {
+		sp := obs.Begin("kernelreg.Prepare", label, obs.PhasePrepare, -1)
+		defer sp.End()
+		return prep(wb, mode)
 	}
 	index[key] = v
 	variants = append(variants, v)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csf"
 	"repro/internal/fcoo"
+	"repro/internal/obs"
 	"repro/internal/roofline"
 )
 
@@ -306,7 +307,9 @@ func prepTtvCSF(wb *Workbench, mode int, b Backend) (*Instance, error) {
 		return nil, badBackend("Ttv/CSF", b)
 	}
 	mo := append(otherModesOf(wb.X.Order(), mode), mode)
+	csp := obs.Begin("csf.FromCOO", "", obs.PhaseConvert, -1)
 	c, err := csf.FromCOO(wb.X, mo)
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -344,7 +347,9 @@ func prepMttkrpCSF(wb *Workbench, mode int, b Backend) (*Instance, error) {
 		return nil, badBackend("Mttkrp/CSF", b)
 	}
 	mo := append([]int{mode}, otherModesOf(wb.X.Order(), mode)...)
+	csp := obs.Begin("csf.FromCOO", "", obs.PhaseConvert, -1)
 	c, err := csf.FromCOO(wb.X, mo)
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -380,7 +385,9 @@ func prepTtvFCOO(wb *Workbench, mode int, b Backend) (*Instance, error) {
 	if b != GPU {
 		return nil, badBackend("Ttv/fCOO", b)
 	}
+	csp := obs.Begin("fcoo.FromCOO", "", obs.PhaseConvert, -1)
 	fc, err := fcoo.FromCOO(wb.X, mode, wb.SegSize())
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -416,7 +423,9 @@ func prepMttkrpFCOO(wb *Workbench, mode int, b Backend) (*Instance, error) {
 	if b != GPU {
 		return nil, badBackend("Mttkrp/fCOO", b)
 	}
+	csp := obs.Begin("fcoo.FromCOOMttkrp", "", obs.PhaseConvert, -1)
 	fc, err := fcoo.FromCOOMttkrp(wb.X, mode, wb.SegSize())
+	csp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package kernelreg
 import (
 	"context"
 
+	"repro/internal/obs"
 	"repro/internal/roofline"
 )
 
@@ -42,6 +43,8 @@ func (wb *Workbench) Reference(ctx context.Context, k roofline.Kernel, mode int)
 // on a tolerance (2e-3 covers float32 reduction-order noise at the
 // suite's sizes).
 func (v *Variant) Verify(ctx context.Context, wb *Workbench, mode int) (float64, error) {
+	sp := obs.Begin("kernelreg.Verify", v.String(), obs.PhaseVerify, -1)
+	defer sp.End()
 	ref, err := wb.Reference(ctx, v.Kernel, mode)
 	if err != nil {
 		return 0, err

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fcoo"
 	"repro/internal/gpusim"
 	"repro/internal/hicoo"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
@@ -111,7 +112,9 @@ func (wb *Workbench) Y() *tensor.COO {
 // HX is X converted to HiCOO, built once per workbench.
 func (wb *Workbench) HX() *hicoo.HiCOO {
 	if wb.hx == nil {
+		sp := obs.Begin("hicoo.FromCOO", "X", obs.PhaseConvert, -1)
 		wb.hx = hicoo.FromCOO(wb.X, wb.cfg.BlockBits)
+		sp.End()
 	}
 	return wb.hx
 }
@@ -119,7 +122,10 @@ func (wb *Workbench) HX() *hicoo.HiCOO {
 // HY is Y converted to HiCOO.
 func (wb *Workbench) HY() *hicoo.HiCOO {
 	if wb.hy == nil {
-		wb.hy = hicoo.FromCOO(wb.Y(), wb.cfg.BlockBits)
+		y := wb.Y()
+		sp := obs.Begin("hicoo.FromCOO", "Y", obs.PhaseConvert, -1)
+		wb.hy = hicoo.FromCOO(y, wb.cfg.BlockBits)
+		sp.End()
 	}
 	return wb.hy
 }

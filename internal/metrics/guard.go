@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/kernelreg"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 )
 
@@ -53,8 +54,8 @@ func (g *guard) stallFor() time.Duration {
 // measure runs one warm-up trial plus `runs` timed trials of a prepared
 // registry instance through the degradation ladder, recording each
 // trial's outcome, and returns the mean seconds of the successful timed
-// trials.
-func (g *guard) measure(inst *kernelreg.Instance, label resilience.Label, runs int) (float64, error) {
+// trials plus each such trial's individual wall-clock seconds.
+func (g *guard) measure(inst *kernelreg.Instance, label resilience.Label, runs int) (float64, []float64, error) {
 	t := resilience.Trial{
 		Label:   label,
 		Timeout: g.cfg.Timeout,
@@ -68,7 +69,7 @@ func (g *guard) measure(inst *kernelreg.Instance, label resilience.Label, runs i
 	}
 	var (
 		total   float64
-		good    int
+		trials  []float64
 		lastErr error
 	)
 	for i := 0; i <= runs; i++ {
@@ -76,9 +77,12 @@ func (g *guard) measure(inst *kernelreg.Instance, label resilience.Label, runs i
 		if g.inj != nil {
 			g.inj.ArmRandom(armCtx, 32, g.stallFor())
 		}
+		sp := obs.Begin("metrics.trial", label.String(), obs.PhaseTrial, -1)
 		start := time.Now()
 		rep := g.runner.Do(context.Background(), t)
 		elapsed := time.Since(start).Seconds()
+		sp.Attr("outcome", rep.String())
+		sp.End()
 		cancel() // unblocks any injected stall the trial abandoned
 		if rep.Settled != nil {
 			// The straggler must stop touching the plan's output buffer
@@ -92,16 +96,16 @@ func (g *guard) measure(inst *kernelreg.Instance, label resilience.Label, runs i
 		}
 		if i > 0 { // the warm-up stays out of the average, like the plain path
 			total += elapsed
-			good++
+			trials = append(trials, elapsed)
 		}
 	}
-	if good == 0 {
+	if len(trials) == 0 {
 		if lastErr == nil {
 			lastErr = fmt.Errorf("metrics: no timed run of %s succeeded", label)
 		}
-		return 0, lastErr
+		return 0, nil, lastErr
 	}
-	return total / float64(good), nil
+	return total / float64(len(trials)), trials, nil
 }
 
 // joinOutcomes renders the per-outcome trial counts for harness tables:

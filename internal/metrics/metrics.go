@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hicoo"
 	"repro/internal/kernelreg"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
@@ -116,6 +117,15 @@ type Result struct {
 	// Outcomes counts trials per resilience outcome across all modes,
 	// runs, and warm-ups of this measurement; nil when guarding is off.
 	Outcomes map[string]int
+	// TrialSec lists every timed trial's wall-clock seconds in execution
+	// order (cfg.Runs entries per mode, warm-ups excluded), so consumers
+	// can compute variance instead of trusting the mean. Nil-valued
+	// fields stay absent from JSON, keeping pre-existing output
+	// byte-compatible.
+	TrialSec []float64 `json:"TrialSec,omitempty"`
+	// Counters is the obs counter delta attributable to this measurement
+	// (preparation included); nil unless obs counting was enabled.
+	Counters map[string]int64 `json:"Counters,omitempty"`
 }
 
 // MeasureHost times one kernel × format on the host CPU, averaging over
@@ -141,6 +151,12 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 	g := newGuard(cfg)
 	defer g.close()
 	label := v.Label()
+	variant := v.String()
+	counting := obs.Counting()
+	var ctrBefore map[string]int64
+	if counting {
+		ctrBefore = obs.CounterSnapshot()
+	}
 	var (
 		totalTime  float64
 		totalFlops int64
@@ -155,19 +171,27 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 			if err := inst.Run(context.Background()); err != nil { // warm-up, also verifies the path once
 				return res, err
 			}
-			start := time.Now()
+			var modeTotal float64
 			for i := 0; i < cfg.Runs; i++ {
-				if err := inst.Run(context.Background()); err != nil {
+				sp := obs.Begin("metrics.trial", variant, obs.PhaseTrial, -1)
+				start := time.Now()
+				err := inst.Run(context.Background())
+				elapsed := time.Since(start).Seconds()
+				sp.End()
+				if err != nil {
 					return res, err
 				}
+				modeTotal += elapsed
+				res.TrialSec = append(res.TrialSec, elapsed)
 			}
-			totalTime += time.Since(start).Seconds() / float64(cfg.Runs)
+			totalTime += modeTotal / float64(cfg.Runs)
 		} else {
-			sec, err := g.measure(inst, label, cfg.Runs)
+			sec, trials, err := g.measure(inst, label, cfg.Runs)
 			if err != nil {
 				return res, err
 			}
 			totalTime += sec
+			res.TrialSec = append(res.TrialSec, trials...)
 		}
 		totalFlops += inst.Flops
 		execs++
@@ -187,6 +211,9 @@ func MeasureHost(host *platform.Platform, x *tensor.COO, k roofline.Kernel, f ro
 	}
 	res.Strategy = joinStrategies(res.Strategies)
 	res.Roofline, res.Efficiency = rooflineBound(host, x, v, cfg, res.GFLOPS)
+	if counting {
+		res.Counters = obs.DiffSnapshot(ctrBefore, obs.CounterSnapshot())
+	}
 	return res, nil
 }
 

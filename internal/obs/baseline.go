@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BaselineSchema tags natively written baseline files.
+const BaselineSchema = "pstb-baseline/v1"
+
+// BaselineRecord is one per-variant GFLOPS data point: the unit of
+// perf-baseline tracking. The fields mirror the rows pastabench's
+// -json export writes into results/series/*.json, so a committed
+// series file doubles as a baseline without conversion.
+type BaselineRecord struct {
+	// Figure scopes the record ("fig4"); empty records match any scope.
+	Figure  string  `json:"figure,omitempty"`
+	Tensor  string  `json:"tensor"`
+	Kernel  string  `json:"kernel"`
+	Format  string  `json:"format"`
+	Backend string  `json:"backend,omitempty"`
+	Source  string  `json:"source,omitempty"` // "modeled" | "measured"
+	GFLOPS  float64 `json:"gflops"`
+}
+
+// Key is the record's identity: one (figure, tensor, variant, source)
+// performance point.
+func (r BaselineRecord) Key() string {
+	v := r.Kernel + "/" + r.Format
+	if r.Backend != "" {
+		v += "@" + r.Backend
+	}
+	return strings.Join([]string{r.Figure, r.Tensor, v, r.Source}, "|")
+}
+
+// Baseline is a keyed store of per-variant GFLOPS records.
+type Baseline struct {
+	recs map[string]BaselineRecord
+}
+
+// NewBaseline returns an empty store.
+func NewBaseline() *Baseline {
+	return &Baseline{recs: make(map[string]BaselineRecord)}
+}
+
+// Add inserts or replaces the record under its key.
+func (b *Baseline) Add(r BaselineRecord) { b.recs[r.Key()] = r }
+
+// Len reports how many records the store holds.
+func (b *Baseline) Len() int { return len(b.recs) }
+
+// Lookup returns the stored GFLOPS for a record's identity.
+func (b *Baseline) Lookup(r BaselineRecord) (float64, bool) {
+	got, ok := b.recs[r.Key()]
+	return got.GFLOPS, ok
+}
+
+// Records returns every stored record, key-sorted for deterministic
+// serialization.
+func (b *Baseline) Records() []BaselineRecord {
+	out := make([]BaselineRecord, 0, len(b.recs))
+	for _, r := range b.recs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// baselineFile is the native on-disk schema.
+type baselineFile struct {
+	Schema  string           `json:"schema"`
+	Records []BaselineRecord `json:"records"`
+}
+
+// seriesFile is the pastabench results/series/*.json schema (the
+// subset of fields baseline tracking consumes).
+type seriesFile struct {
+	Figure string           `json:"figure"`
+	Rows   []BaselineRecord `json:"rows"`
+}
+
+// WriteFile writes the store in the native schema.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(baselineFile{Schema: BaselineSchema, Records: b.Records()}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaselineFile reads one baseline file into b, accepting either
+// the native pstb-baseline schema or a pastabench series file (rows
+// inherit the file's figure when they carry none).
+func (b *Baseline) LoadBaselineFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var nat baselineFile
+	if err := json.Unmarshal(data, &nat); err == nil && nat.Schema == BaselineSchema {
+		for _, r := range nat.Records {
+			b.Add(r)
+		}
+		return nil
+	}
+	var ser seriesFile
+	if err := json.Unmarshal(data, &ser); err != nil {
+		return fmt.Errorf("obs: %s is neither a %s file nor a series file: %w", path, BaselineSchema, err)
+	}
+	if len(ser.Rows) == 0 {
+		return fmt.Errorf("obs: %s contains no baseline rows", path)
+	}
+	for _, r := range ser.Rows {
+		if r.Figure == "" {
+			r.Figure = ser.Figure
+		}
+		b.Add(r)
+	}
+	return nil
+}
+
+// LoadBaselineDir loads every *.json file in dir into one store.
+func LoadBaselineDir(dir string) (*Baseline, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("obs: no *.json baseline files in %s", dir)
+	}
+	sort.Strings(paths)
+	b := NewBaseline()
+	for _, p := range paths {
+		if err := b.LoadBaselineFile(p); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// Regression is one current record that fell below its baseline's
+// tolerance band.
+type Regression struct {
+	Key      string
+	Baseline float64
+	Current  float64
+	// Ratio is Current/Baseline (< 1-tolerance to be reported).
+	Ratio float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.3f GFLOPS vs baseline %.3f (x%.2f)", r.Key, r.Current, r.Baseline, r.Ratio)
+}
+
+// Check compares current records against the stored baselines with a
+// relative tolerance band: a record regresses when its GFLOPS fall
+// below baseline*(1-tol). Records with no stored baseline are skipped
+// (a new variant is not a regression); matched reports how many
+// records had a baseline to compare against.
+func (b *Baseline) Check(current []BaselineRecord, tol float64) (regs []Regression, matched int) {
+	if tol < 0 {
+		tol = 0
+	}
+	for _, r := range current {
+		base, ok := b.Lookup(r)
+		if !ok || base <= 0 {
+			continue
+		}
+		matched++
+		if r.GFLOPS < base*(1-tol) {
+			regs = append(regs, Regression{
+				Key: r.Key(), Baseline: base, Current: r.GFLOPS,
+				Ratio: r.GFLOPS / base,
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio < regs[j].Ratio })
+	return regs, matched
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func rec(fig, tensor, kernel, format, backend, source string, g float64) BaselineRecord {
+	return BaselineRecord{Figure: fig, Tensor: tensor, Kernel: kernel,
+		Format: format, Backend: backend, Source: source, GFLOPS: g}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	b := NewBaseline()
+	b.Add(rec("fig4", "r1", "Mttkrp", "COO", "omp", "measured", 10))
+	b.Add(rec("fig4", "r1", "Ttv", "CSF", "omp", "measured", 4))
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got := NewBaseline()
+	if err := got.LoadBaselineFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("loaded %d records, want 2", got.Len())
+	}
+	g, ok := got.Lookup(rec("fig4", "r1", "Mttkrp", "COO", "omp", "measured", 0))
+	if !ok || g != 10 {
+		t.Fatalf("Lookup = %v, %v", g, ok)
+	}
+}
+
+func TestBaselineReadsSeriesSchema(t *testing.T) {
+	dir := t.TempDir()
+	series := `{
+	  "figure": "fig4",
+	  "platform": "Bluesky",
+	  "rows": [
+	    {"tensor": "r1", "kernel": "Tew", "format": "COO", "gflops": 17.0, "source": "modeled"},
+	    {"tensor": "r1", "kernel": "Tew", "format": "HiCOO", "gflops": 18.7, "source": "modeled"}
+	  ]
+	}`
+	if err := os.WriteFile(filepath.Join(dir, "fig4.json"), []byte(series), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaselineDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("loaded %d records, want 2", b.Len())
+	}
+	// Rows inherit the file's figure scope.
+	g, ok := b.Lookup(rec("fig4", "r1", "Tew", "COO", "", "modeled", 0))
+	if !ok || g != 17.0 {
+		t.Fatalf("series lookup = %v, %v", g, ok)
+	}
+}
+
+func TestBaselineLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadBaselineDir(dir); err == nil {
+		t.Fatal("empty dir must error")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte(`{"rows": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaselineDir(dir); err == nil {
+		t.Fatal("rowless file must error")
+	}
+}
+
+func TestBaselineCheck(t *testing.T) {
+	b := NewBaseline()
+	b.Add(rec("fig4", "r1", "Mttkrp", "COO", "", "modeled", 10))
+	b.Add(rec("fig4", "r1", "Ttv", "COO", "", "modeled", 10))
+
+	current := []BaselineRecord{
+		rec("fig4", "r1", "Mttkrp", "COO", "", "modeled", 9.5), // inside band
+		rec("fig4", "r1", "Ttv", "COO", "", "modeled", 4),      // regression
+		rec("fig4", "r1", "Ttm", "COO", "", "modeled", 0.01),   // no baseline: skipped
+	}
+	regs, matched := b.Check(current, 0.25)
+	if matched != 2 {
+		t.Fatalf("matched = %d, want 2", matched)
+	}
+	if len(regs) != 1 || regs[0].Current != 4 || regs[0].Baseline != 10 {
+		t.Fatalf("regs = %v", regs)
+	}
+	if regs[0].Ratio != 0.4 {
+		t.Fatalf("ratio = %v", regs[0].Ratio)
+	}
+	if regs[0].String() == "" {
+		t.Fatal("empty regression rendering")
+	}
+	// A generous band reports nothing.
+	if regs, _ := b.Check(current, 0.9); len(regs) != 0 {
+		t.Fatalf("tol=0.9 regs = %v", regs)
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ParseChromeTrace decodes a Chrome trace_event document in either of
+// its legal top-level shapes: the JSON-object form
+// {"traceEvents":[...]} or the bare JSON-array form [...].
+func ParseChromeTrace(data []byte) ([]TraceEvent, error) {
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err == nil && doc.TraceEvents != nil {
+		return doc.TraceEvents, nil
+	}
+	var evs []TraceEvent
+	if err := json.Unmarshal(data, &evs); err != nil {
+		return nil, fmt.Errorf("obs: not a trace_event document: %w", err)
+	}
+	return evs, nil
+}
+
+// ValidateChromeTrace structurally checks a trace_event document: it
+// must parse, every event needs a name and a known phase type, "X"
+// complete events need non-negative durations, "B"/"E" duration pairs
+// must match per (pid, tid), and timestamps must be monotonically
+// non-decreasing in document order. This is the tiny Go checker CI
+// runs against benchmark trace artifacts instead of an external tool.
+func ValidateChromeTrace(data []byte) error {
+	evs, err := ParseChromeTrace(data)
+	if err != nil {
+		return err
+	}
+	if len(evs) == 0 {
+		return fmt.Errorf("obs: trace contains no events")
+	}
+	type lane struct{ pid, tid int }
+	open := make(map[lane][]string) // B/E stack per thread lane
+	lastTs := make(map[lane]float64)
+	for i, ev := range evs {
+		where := fmt.Sprintf("event %d (%q)", i, ev.Name)
+		if ev.Name == "" {
+			return fmt.Errorf("obs: event %d has an empty name", i)
+		}
+		if ev.Ts < 0 {
+			return fmt.Errorf("obs: %s has negative timestamp %v", where, ev.Ts)
+		}
+		l := lane{ev.Pid, ev.Tid}
+		if prev, ok := lastTs[l]; ok && ev.Ts < prev {
+			return fmt.Errorf("obs: %s timestamp %v goes backwards (prev %v on pid=%d tid=%d)",
+				where, ev.Ts, prev, ev.Pid, ev.Tid)
+		}
+		lastTs[l] = ev.Ts
+		switch ev.Ph {
+		case "X":
+			if ev.Dur < 0 {
+				return fmt.Errorf("obs: %s has negative duration %v", where, ev.Dur)
+			}
+		case "B":
+			open[l] = append(open[l], ev.Name)
+		case "E":
+			st := open[l]
+			if len(st) == 0 {
+				return fmt.Errorf("obs: %s is an E event with no open B on pid=%d tid=%d", where, ev.Pid, ev.Tid)
+			}
+			if top := st[len(st)-1]; top != ev.Name {
+				return fmt.Errorf("obs: %s closes %q but %q is open on pid=%d tid=%d", where, ev.Name, top, ev.Pid, ev.Tid)
+			}
+			open[l] = st[:len(st)-1]
+		case "i", "I", "M", "C":
+			// instant, metadata, and counter events carry no duration
+			// pairing to check
+		default:
+			return fmt.Errorf("obs: %s has unknown phase type %q", where, ev.Ph)
+		}
+	}
+	for l, st := range open {
+		if len(st) > 0 {
+			return fmt.Errorf("obs: %d unclosed B event(s) on pid=%d tid=%d (innermost %q)",
+				len(st), l.pid, l.tid, st[len(st)-1])
+		}
+	}
+	return nil
+}

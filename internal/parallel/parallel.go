@@ -17,6 +17,19 @@ import (
 	"sync"
 	"sync/atomic"
 	"unsafe"
+
+	"repro/internal/obs"
+)
+
+// Observability counters (internal/obs). Chunk and atomic-add counts
+// sit on per-operation hot paths, so their sites gate on obs.Counting;
+// CAS retries only tick on a lost race, which is rare enough to count
+// unconditionally.
+var (
+	ctrChunks     = obs.GetCounter("parallel.chunks")
+	ctrAtomicAdds = obs.GetCounter("parallel.atomic_adds")
+	ctrCASRetries = obs.GetCounter("parallel.cas_retries")
+	ctrReductions = obs.GetCounter("parallel.reductions")
 )
 
 // Schedule selects the OpenMP loop-scheduling policy.
@@ -150,9 +163,18 @@ func ResolveThreads(n int, opt Options) int {
 type loopCtl struct {
 	done  <-chan struct{}
 	hook  func(worker int)
+	count bool // obs.Counting() resolved once per loop
 	abort atomic.Bool
 	mu    sync.Mutex
 	wp    *WorkerPanic
+}
+
+// chunk ticks the chunk counter when hot-path counting is on; called
+// once per claimed chunk on every schedule path.
+func (c *loopCtl) chunk() {
+	if c.count {
+		ctrChunks.Inc()
+	}
 }
 
 // active reports whether the loop needs per-chunk checks at all.
@@ -214,12 +236,29 @@ func (c *loopCtl) finish(ctx context.Context) error {
 // opt.Ctx is cancelled first (the loop's output may then be partial). A
 // panic inside body is contained in its worker, aborts the remaining
 // chunks, and is re-raised on the calling goroutine as a *WorkerPanic.
+//
+// When an obs tracer is enabled the whole loop is recorded as one
+// chunk-phase span; when tracing is off the extra cost is a single
+// atomic pointer load and zero allocations (pinned by
+// TestDisabledTracingZeroAlloc).
 func For(n int, opt Options, body func(lo, hi, worker int)) error {
 	if n <= 0 {
 		return nil
 	}
+	if t := obs.Current(); t != nil {
+		sp := obs.BeginOn(t, "parallel.For", "", obs.PhaseChunk, -1)
+		sp.Attr("schedule", opt.Schedule.String())
+		err := forGo(n, opt, body)
+		sp.End()
+		return err
+	}
+	return forGo(n, opt, body)
+}
+
+// forGo is the uninstrumented loop driver behind For.
+func forGo(n int, opt Options, body func(lo, hi, worker int)) error {
 	threads := ResolveThreads(n, opt)
-	ctl := &loopCtl{hook: loadChunkHook()}
+	ctl := &loopCtl{hook: loadChunkHook(), count: obs.Counting()}
 	if opt.Ctx != nil {
 		ctl.done = opt.Ctx.Done()
 	}
@@ -246,6 +285,7 @@ func For(n int, opt Options, body func(lo, hi, worker int)) error {
 					defer wg.Done()
 					defer ctl.guard(w)
 					if lo < hi && ctl.enter(w) {
+						ctl.chunk()
 						body(lo, hi, w)
 					}
 				}(lo, hi, w)
@@ -264,6 +304,7 @@ func For(n int, opt Options, body func(lo, hi, worker int)) error {
 						if hi > n {
 							hi = n
 						}
+						ctl.chunk()
 						body(lo, hi, w)
 					}
 				}(w)
@@ -291,6 +332,7 @@ func For(n int, opt Options, body func(lo, hi, worker int)) error {
 					if hi > n {
 						hi = n
 					}
+					ctl.chunk()
 					body(lo, hi, w)
 				}
 			}(w)
@@ -331,6 +373,7 @@ func For(n int, opt Options, body func(lo, hi, worker int)) error {
 					if hi > n {
 						hi = n
 					}
+					ctl.chunk()
 					body(lo, hi, w)
 				}
 			}(w)
@@ -349,6 +392,7 @@ func For(n int, opt Options, body func(lo, hi, worker int)) error {
 // goroutine), which resilience.Run contains just the same.
 func forSerial(n int, opt Options, ctl *loopCtl, body func(lo, hi, worker int)) error {
 	if !ctl.active() {
+		ctl.chunk()
 		body(0, n, 0)
 		return nil
 	}
@@ -364,6 +408,7 @@ func forSerial(n int, opt Options, ctl *loopCtl, body func(lo, hi, worker int)) 
 		if hi > n {
 			hi = n
 		}
+		ctl.chunk()
 		body(lo, hi, 0)
 	}
 	return nil
@@ -392,7 +437,8 @@ func heuristicChunk(n, threads int) int {
 
 // AtomicAddFloat32 atomically adds delta to *addr using a compare-and-swap
 // loop on the value's bit pattern — the Go equivalent of "omp atomic" /
-// CUDA atomicAdd on float.
+// CUDA atomicAdd on float. Lost CAS races tick parallel.cas_retries and,
+// when hot-path counting is on, completed adds tick parallel.atomic_adds.
 func AtomicAddFloat32(addr *float32, delta float32) {
 	p := (*uint32)(unsafe.Pointer(addr))
 	for {
@@ -400,8 +446,12 @@ func AtomicAddFloat32(addr *float32, delta float32) {
 		cur := math.Float32frombits(old)
 		nxt := math.Float32bits(cur + delta)
 		if atomic.CompareAndSwapUint32(p, old, nxt) {
+			if obs.Counting() {
+				ctrAtomicAdds.Inc()
+			}
 			return
 		}
+		ctrCASRetries.Inc()
 	}
 }
 
@@ -413,8 +463,12 @@ func AtomicAddFloat64(addr *float64, delta float64) {
 		cur := math.Float64frombits(old)
 		nxt := math.Float64bits(cur + delta)
 		if atomic.CompareAndSwapUint64(p, old, nxt) {
+			if obs.Counting() {
+				ctrAtomicAdds.Inc()
+			}
 			return
 		}
+		ctrCASRetries.Inc()
 	}
 }
 
@@ -431,6 +485,10 @@ const reducePad = 8
 // ids beyond the array. The partials come from the shared workspace, so
 // steady-state calls do not allocate them.
 func ReduceFloat64(n int, opt Options, body func(lo, hi, worker int) float64) float64 {
+	sp := obs.Begin("parallel.Reduce", "", obs.PhaseReduce, -1)
+	if obs.Counting() {
+		ctrReductions.Inc()
+	}
 	threads := ResolveThreads(n, opt)
 	opt.Threads = threads
 	ws := SharedWorkspace()
@@ -443,5 +501,6 @@ func ReduceFloat64(n int, opt Options, body func(lo, hi, worker int) float64) fl
 		sum += partial[w*reducePad]
 	}
 	ws.PutFloat64(partial)
+	sp.End()
 	return sum
 }

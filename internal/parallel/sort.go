@@ -3,6 +3,8 @@ package parallel
 import (
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // sortSerialThreshold is the subproblem size below which SortInt32s falls
@@ -18,6 +20,8 @@ const sortSerialThreshold = 1 << 14
 // parallel implementation. The comparator must be pure: it is called
 // concurrently.
 func SortInt32s(idx []int32, less func(a, b int32) bool) {
+	sp := obs.Begin("parallel.SortInt32s", "", obs.PhaseSort, -1)
+	defer sp.End()
 	n := len(idx)
 	workers := NumThreads()
 	if n < sortSerialThreshold || workers < 2 {

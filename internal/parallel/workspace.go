@@ -1,6 +1,19 @@
 package parallel
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Pool-effectiveness counters: reuses are pool hits (the "workspace
+// reuses" the paper-level counters report), misses are fresh
+// allocations. Acquisitions are per kernel call, not per element, so
+// they count unconditionally.
+var (
+	ctrWSReuses = obs.GetCounter("workspace.reuses")
+	ctrWSMisses = obs.GetCounter("workspace.misses")
+)
 
 // Workspace is a pool of reduction scratch buffers keyed by size, reused
 // across kernel invocations. The privatized reduction strategy needs
@@ -78,9 +91,11 @@ func (ws *Workspace) Float32(n int) []float32 {
 		buf = l[len(l)-1]
 		ws.f32[n] = l[:len(l)-1]
 		ws.hits++
+		ctrWSReuses.Inc()
 		ws.retained -= 4 * int64(n)
 	} else {
 		ws.misses++
+		ctrWSMisses.Inc()
 	}
 	ws.mu.Unlock()
 	if buf == nil {
@@ -114,9 +129,11 @@ func (ws *Workspace) Float64(n int) []float64 {
 		buf = l[len(l)-1]
 		ws.f64[n] = l[:len(l)-1]
 		ws.hits++
+		ctrWSReuses.Inc()
 		ws.retained -= 8 * int64(n)
 	} else {
 		ws.misses++
+		ctrWSMisses.Inc()
 	}
 	ws.mu.Unlock()
 	if buf == nil {
@@ -163,9 +180,11 @@ func (ws *Workspace) Set(workers, elems int) *PrivateSet {
 		s = l[len(l)-1]
 		ws.sets[k] = l[:len(l)-1]
 		ws.hits++
+		ctrWSReuses.Inc()
 		ws.retained -= 4 * int64(workers) * int64(elems)
 	} else {
 		ws.misses++
+		ctrWSMisses.Inc()
 	}
 	ws.mu.Unlock()
 	if s == nil {

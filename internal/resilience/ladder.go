@@ -6,6 +6,17 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Resilience events are rare by construction (a healthy run has none),
+// so they count unconditionally rather than behind the hot-path gate.
+var (
+	ctrRetries      = obs.GetCounter("resilience.retries")
+	ctrFallbacks    = obs.GetCounter("resilience.fallbacks")
+	ctrBreakerTrips = obs.GetCounter("resilience.breaker_trips")
+	ctrTimeouts     = obs.GetCounter("resilience.timeouts")
 )
 
 // Outcome classifies how a guarded trial ended.
@@ -191,6 +202,10 @@ func (r *Runner) record(backend string, ok bool) {
 	}
 	b.consecFails++
 	if b.consecFails >= r.threshold() {
+		if !b.open {
+			ctrBreakerTrips.Inc()
+			obs.Emit("breaker.open", backend, obs.PhaseFallback, -1)
+		}
 		b.open = true
 		b.cooldown = r.cooldown()
 	}
@@ -251,6 +266,9 @@ func (r *Runner) Do(ctx context.Context, t Trial) Report {
 			if ctx.Err() != nil {
 				return r.timeoutReport(rep, label)
 			}
+			if attempt > 0 {
+				ctrRetries.Inc()
+			}
 			rep.Attempts++
 			err, settled := Exec(ctx, label, rung.Exec)
 			rep.Settled = settled
@@ -266,6 +284,7 @@ func (r *Runner) Do(ctx context.Context, t Trial) Report {
 				// with no time left. Drain the straggler briefly so it
 				// stops touching shared buffers, then report.
 				r.drain(settled)
+				ctrTimeouts.Inc()
 				rep.Outcome = OutcomeTimeout
 				rep.Err = err
 				return rep
@@ -304,6 +323,10 @@ func (r *Runner) accept(rep Report, t Trial, rungIdx int, backend string, attemp
 		}
 		rep.Outcome = OutcomeFellBack
 		rep.FellFrom = t.Rungs[0].Backend
+		ctrFallbacks.Inc()
+		obs.Emit("fallback", t.Label.String(), obs.PhaseFallback, -1,
+			obs.Attr{Key: "from", Val: rep.FellFrom},
+			obs.Attr{Key: "to", Val: backend})
 	}
 	return rep
 }
@@ -312,6 +335,7 @@ func (r *Runner) accept(rep Report, t Trial, rungIdx int, backend string, attemp
 // attempts.
 func (r *Runner) timeoutReport(rep Report, label Label) Report {
 	r.drain(rep.Settled)
+	ctrTimeouts.Inc()
 	rep.Outcome = OutcomeTimeout
 	rep.Err = &KernelError{Label: label, Err: fmt.Errorf("trial deadline: %w", ErrDeadline)}
 	return rep

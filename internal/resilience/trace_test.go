@@ -1,0 +1,90 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestChaosFallbackTrace drills the observability contract of the
+// degradation ladder under an injected fault: a preferred rung that
+// panics on the first attempt and on its single retry must surface in
+// the trace as exactly one fallback span and in the counters as exactly
+// one retry and one fallback — no double counting from the ladder's
+// internal control flow. Run under -race this also exercises the
+// tracer's concurrent record path against the Exec goroutine.
+func TestChaosFallbackTrace(t *testing.T) {
+	tr := obs.New()
+	obs.Enable(tr)
+	defer obs.Disable()
+	before := obs.CounterSnapshot()
+
+	gpuRuns := 0
+	trial := Trial{
+		Label:   Label{Kernel: "Mttkrp", Format: "COO", Backend: "gpu"},
+		Retries: 1,
+		Rungs: []Rung{
+			{Backend: "gpu", Exec: func(context.Context) error {
+				gpuRuns++
+				panic("injected device fault")
+			}},
+			{Backend: "serial", Exec: func(context.Context) error { return nil }},
+		},
+	}
+	var r Runner
+	rep := r.Do(context.Background(), trial)
+	if rep.Outcome != OutcomeFellBack || rep.Backend != "serial" || rep.FellFrom != "gpu" {
+		t.Fatalf("report = %+v, want fell-back:serial from gpu", rep)
+	}
+	if gpuRuns != 2 {
+		t.Fatalf("preferred rung ran %d times, want 2 (first attempt + one retry)", gpuRuns)
+	}
+
+	d := obs.DiffSnapshot(before, obs.CounterSnapshot())
+	if d["resilience.retries"] != 1 {
+		t.Fatalf("resilience.retries delta = %d, want exactly 1", d["resilience.retries"])
+	}
+	if d["resilience.fallbacks"] != 1 {
+		t.Fatalf("resilience.fallbacks delta = %d, want exactly 1", d["resilience.fallbacks"])
+	}
+	if d["resilience.breaker_trips"] != 0 {
+		t.Fatalf("two failures below the threshold of three tripped the breaker: %v", d)
+	}
+
+	var fallbackSpans int
+	for _, s := range tr.Spans() {
+		if s.Phase != obs.PhaseFallback || s.Name != "fallback" {
+			continue
+		}
+		fallbackSpans++
+		if !s.Instant {
+			t.Errorf("fallback span recorded as interval, want instant")
+		}
+		attrs := map[string]string{}
+		for _, a := range s.Attrs {
+			attrs[a.Key] = a.Val
+		}
+		if attrs["from"] != "gpu" || attrs["to"] != "serial" {
+			t.Errorf("fallback span attrs = %v, want from=gpu to=serial", attrs)
+		}
+	}
+	if fallbackSpans != 1 {
+		t.Fatalf("trace holds %d fallback spans, want exactly 1", fallbackSpans)
+	}
+}
+
+// TestBreakerTripCounted opens a breaker and checks the trip is counted
+// once on the closed→open transition, not on every subsequent failure.
+func TestBreakerTripCounted(t *testing.T) {
+	before := obs.CounterSnapshot()
+	var r Runner   // threshold 3
+	r.admit("gpu") // record only feeds breakers admit has created
+	for i := 0; i < 5; i++ {
+		r.record("gpu", false)
+	}
+	d := obs.DiffSnapshot(before, obs.CounterSnapshot())
+	if d["resilience.breaker_trips"] != 1 {
+		t.Fatalf("breaker_trips delta = %d, want 1", d["resilience.breaker_trips"])
+	}
+}
