@@ -2,12 +2,12 @@ package main
 
 import (
 	"fmt"
-	"net/http"
 	_ "net/http/pprof" // registered on the default mux for -pprof
 	"os"
 	"runtime/pprof"
 
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 // obsSession owns the observability side of one pastabench invocation:
@@ -19,6 +19,7 @@ type obsSession struct {
 	o       options
 	tracer  *obs.Tracer
 	cpuOut  *os.File
+	pprof   *serve.HTTPServer
 	current []obs.BaselineRecord
 }
 
@@ -60,12 +61,19 @@ func startObs(o options) error {
 		s.cpuOut = f
 	}
 	if o.pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "pastabench: -pprof:", err)
+		// Bind synchronously so a bad address fails startup instead of a
+		// background goroutine printing the error after the success
+		// banner (with the benchmark run silently unprofiled).
+		hs, err := serve.StartHTTP(o.pprofAddr, nil)
+		if err != nil {
+			if s.cpuOut != nil {
+				pprof.StopCPUProfile()
+				s.cpuOut.Close()
 			}
-		}()
-		fmt.Printf("(pprof server on http://%s/debug/pprof/)\n", o.pprofAddr)
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		s.pprof = hs
+		fmt.Printf("(pprof server on http://%s/debug/pprof/)\n", hs.Addr())
 	}
 	session = s
 	return nil
@@ -94,6 +102,9 @@ func finishObs() int {
 		return 0
 	}
 	code := 0
+	if session.pprof != nil {
+		session.pprof.Close()
+	}
 	if session.cpuOut != nil {
 		pprof.StopCPUProfile()
 		session.cpuOut.Close()

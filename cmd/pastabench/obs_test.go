@@ -1,0 +1,59 @@
+package main
+
+import (
+	"net"
+	"testing"
+)
+
+// TestStartObsBadPprofAddrFailsSynchronously pins the -pprof bind
+// semantics: an unusable address must fail startObs itself, not be
+// reported later by a background goroutine after the success banner
+// already printed. Before the fix this returned nil and the error
+// surfaced (if ever) asynchronously on stderr.
+func TestStartObsBadPprofAddrFailsSynchronously(t *testing.T) {
+	defer func() { session = nil }()
+	if err := startObs(options{pprofAddr: "256.256.256.256:0"}); err == nil {
+		t.Fatal("startObs accepted an unbindable -pprof address")
+	}
+	if session != nil {
+		t.Fatal("failed startObs must not install a session")
+	}
+}
+
+// TestStartObsPprofAddrInUse covers the realistic failure: the port is
+// already taken.
+func TestStartObsPprofAddrInUse(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	defer func() { session = nil }()
+	if err := startObs(options{pprofAddr: ln.Addr().String()}); err == nil {
+		t.Fatal("startObs accepted an in-use -pprof address")
+	}
+}
+
+// TestStartObsPprofBindsAndCloses: the success path serves immediately
+// on the resolved address and finishObs shuts the listener down.
+func TestStartObsPprofBinds(t *testing.T) {
+	defer func() { session = nil }()
+	if err := startObs(options{pprofAddr: "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if session == nil || session.pprof == nil {
+		t.Fatal("session.pprof not armed")
+	}
+	addr := session.pprof.Addr()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("pprof listener not accepting on %s: %v", addr, err)
+	}
+	c.Close()
+	if code := finishObs(); code != 0 {
+		t.Fatalf("finishObs = %d", code)
+	}
+	if _, err := net.Dial("tcp", addr); err == nil {
+		t.Fatal("pprof listener still accepting after finishObs")
+	}
+}

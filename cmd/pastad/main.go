@@ -1,0 +1,92 @@
+// Command pastad is the PASTA benchmark daemon: it keeps datasets
+// materialized and kernel instances prepared across requests, so many
+// clients can probe kernel×format×backend performance over HTTP/JSON
+// without paying preprocessing cost per call.
+//
+//	pastad -addr :7117
+//	curl -s localhost:7117/variants
+//	curl -s -X POST localhost:7117/run -d '{"dataset":"r2","kernel":"Mttkrp","format":"HiCOO"}'
+//	curl -s localhost:7117/metrics
+//
+// See cmd/pastad/README.md for the full endpoint reference.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7117", "listen address")
+		nnz         = flag.Int("nnz", 5000, "stand-in dataset non-zero count (real tensors from PASTA_TENSOR_DIR always win)")
+		seed        = flag.Int64("seed", 42, "dataset generation seed")
+		rank        = flag.Int("r", 0, "factor-matrix rank R (0 = paper default)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-trial deadline across all ladder rungs")
+		shards      = flag.Int("shards", 8, "LRU cache shard count")
+		cacheCap    = flag.Int("cache-cap", 32, "LRU cache capacity per shard")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing requests (0 = 2×GOMAXPROCS)")
+		quota       = flag.Int64("quota", 0, "per-client admitted requests per quota window (0 = unlimited)")
+		quotaWindow = flag.Duration("quota-window", time.Minute, "quota accounting window (0 = lifetime budget)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "pastad: unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// The daemon's own counters flow through the obs registry; /metrics
+	// reads the same snapshot -counters prints in pastabench.
+	obs.EnableCounters(true)
+
+	cfg := serve.Config{
+		NNZ:         *nnz,
+		Seed:        *seed,
+		CacheShards: *shards,
+		ShardCap:    *cacheCap,
+		MaxInflight: *maxInflight,
+		QuotaLimit:  *quota,
+		QuotaWindow: *quotaWindow,
+		Timeout:     *timeout,
+	}
+	if *rank > 0 {
+		cfg.Bench.R = *rank
+	}
+	srv := serve.New(cfg)
+
+	// StartHTTP binds synchronously: a bad -addr fails here, before the
+	// ready banner, instead of racing a background goroutine.
+	hs, err := serve.StartHTTP(*addr, srv.Handler())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pastad:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pastad listening on http://%s (endpoints: /healthz /variants /metrics /run)\n", hs.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("pastad: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "pastad: shutdown:", err)
+			os.Exit(1)
+		}
+	case err := <-hs.Err():
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pastad:", err)
+			os.Exit(1)
+		}
+	}
+}

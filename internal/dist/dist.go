@@ -11,9 +11,15 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/tensor"
 )
+
+// ValueBytes is the wire size of one tensor.Value, derived from the
+// actual type so the accounting (and the alpha-beta model fed from it)
+// tracks a future change of value precision instead of assuming float32.
+const ValueBytes = int64(unsafe.Sizeof(tensor.Value(0)))
 
 // Comm is a simulated communicator over size ranks. Neighboring ranks
 // exchange messages over buffered channels; every payload transfer is
@@ -60,10 +66,16 @@ func (c *Comm) Run(fn func(rank int)) {
 	wg.Wait()
 }
 
-// sendRight transfers a payload from rank to its right neighbor.
+// sendRight transfers a payload from rank to its right neighbor. Only
+// non-empty payloads are accounted: when a collective's buffer is
+// shorter than the rank count, some ring segments are empty, and those
+// transfers carry no data — charging them a message would inflate
+// Stats() and the alpha-beta latency term modeled from it.
 func (c *Comm) sendRight(rank int, data []tensor.Value) {
-	c.bytesSent.Add(4 * int64(len(data)))
-	c.messages.Add(1)
+	if len(data) > 0 {
+		c.bytesSent.Add(ValueBytes * int64(len(data)))
+		c.messages.Add(1)
+	}
 	c.right[rank] <- data
 }
 
@@ -124,12 +136,19 @@ var DefaultNetwork = NetworkModel{LatencySec: 2e-6, BandwidthGBs: 12.5}
 
 // AllReduceTime returns the modeled wall time of a ring allreduce of
 // nBytes across p ranks: 2(P-1) latency terms plus 2 nBytes (P-1)/P over
-// the link bandwidth.
+// the link bandwidth. When the buffer holds fewer values than ranks,
+// the empty ring segments send no messages (matching Comm's accounting),
+// so the latency term scales by the non-empty segment fraction.
 func (nm NetworkModel) AllReduceTime(nBytes int64, p int) float64 {
 	if p <= 1 {
 		return 0
 	}
-	steps := float64(2 * (p - 1))
+	n := nBytes / ValueBytes
+	nonEmpty := n
+	if nonEmpty > int64(p) {
+		nonEmpty = int64(p)
+	}
+	steps := 2 * float64(p-1) * float64(nonEmpty) / float64(p)
 	vol := 2 * float64(nBytes) * float64(p-1) / float64(p)
 	return steps*nm.LatencySec + vol/(nm.BandwidthGBs*1e9)
 }

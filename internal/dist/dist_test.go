@@ -78,6 +78,91 @@ func TestAllReduceSumProperty(t *testing.T) {
 	}
 }
 
+// TestAllReduceSumShortBuffer pins the n < p accounting: with fewer
+// values than ranks, some ring segments are empty and must move zero
+// bytes AND zero messages. Before the fix every empty segment still
+// counted one message (2(P-1)P total regardless of n), inflating
+// Stats() and the alpha-beta latency term modeled from it.
+func TestAllReduceSumShortBuffer(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{1, 4}, {2, 5}, {3, 7}, {6, 8}} {
+		c, err := NewComm(tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs := make([][]tensor.Value, tc.p)
+		want := make([]tensor.Value, tc.n)
+		for r := 0; r < tc.p; r++ {
+			bufs[r] = make([]tensor.Value, tc.n)
+			for i := range bufs[r] {
+				bufs[r][i] = tensor.Value(r*10 + i + 1)
+				want[i] += bufs[r][i]
+			}
+		}
+		c.Run(func(rank int) { c.AllReduceSum(rank, bufs[rank]) })
+		for r := 0; r < tc.p; r++ {
+			for i := range want {
+				if math.Abs(float64(bufs[r][i]-want[i])) > 1e-3 {
+					t.Fatalf("n=%d p=%d rank %d element %d = %v, want %v",
+						tc.n, tc.p, r, i, bufs[r][i], want[i])
+				}
+			}
+		}
+		// Each of the n non-empty segments circulates the ring P-1 times
+		// per phase (reduce-scatter + allgather): 2(P-1)·n messages, each
+		// carrying exactly one value here since n < p ⇒ segment size ≤ 1.
+		bytes, msgs := c.Stats()
+		wantMsgs := int64(2 * (tc.p - 1) * tc.n)
+		if msgs != wantMsgs {
+			t.Fatalf("n=%d p=%d: %d messages, want %d", tc.n, tc.p, msgs, wantMsgs)
+		}
+		if bytes != wantMsgs*ValueBytes {
+			t.Fatalf("n=%d p=%d: %d bytes, want %d (ValueBytes=%d per message)",
+				tc.n, tc.p, bytes, wantMsgs*ValueBytes, ValueBytes)
+		}
+	}
+}
+
+// TestValueBytesDerived pins the byte accounting to the real value size:
+// a full-segment allreduce must charge exactly ValueBytes per value
+// moved, with ValueBytes derived from tensor.Value rather than a
+// hardcoded 4.
+func TestValueBytesDerived(t *testing.T) {
+	p, n := 4, 32 // n divisible by p: every segment has n/p values
+	c, err := NewComm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([][]tensor.Value, p)
+	for r := range bufs {
+		bufs[r] = make([]tensor.Value, n)
+	}
+	c.Run(func(rank int) { c.AllReduceSum(rank, bufs[rank]) })
+	bytes, msgs := c.Stats()
+	wantMsgs := int64(2 * (p - 1) * p)
+	if msgs != wantMsgs {
+		t.Fatalf("%d messages, want %d", msgs, wantMsgs)
+	}
+	if want := wantMsgs * int64(n/p) * ValueBytes; bytes != want {
+		t.Fatalf("%d bytes, want %d", bytes, want)
+	}
+}
+
+// TestAllReduceTimeShortBuffer: the modeled latency term must match the
+// no-empty-message accounting — fewer values than ranks means fewer
+// latency charges, never more.
+func TestAllReduceTimeShortBuffer(t *testing.T) {
+	nm := DefaultNetwork
+	p := 8
+	short := nm.AllReduceTime(2*ValueBytes, p)       // n=2 < p
+	full := nm.AllReduceTime(ValueBytes*int64(p), p) // n=p
+	if short <= 0 {
+		t.Fatal("short-buffer allreduce should still cost time")
+	}
+	if short >= full {
+		t.Fatalf("n<p allreduce modeled at %v, not below n=p cost %v", short, full)
+	}
+}
+
 func TestNewCommError(t *testing.T) {
 	if _, err := NewComm(0); err == nil {
 		t.Fatal("expected error for zero ranks")

@@ -65,7 +65,7 @@ func Mttkrp(c *Comm, net NetworkModel, x *tensor.COO, mats []*tensor.Matrix, mod
 		CommBytes:    after - before,
 		CommMessages: msgs,
 	}
-	res.ModeledCommSec = net.AllReduceTime(4*int64(rows)*int64(r), p)
+	res.ModeledCommSec = net.AllReduceTime(ValueBytes*int64(rows)*int64(r), p)
 	return res, nil
 }
 
@@ -123,7 +123,7 @@ func Ttv(c *Comm, x *tensor.COO, v tensor.Vector, mode int) (*TtvResult, error) 
 	w := 0
 	for rank, seg := range segs {
 		if rank != 0 {
-			bytes += 4 * int64(len(seg))
+			bytes += ValueBytes * int64(len(seg))
 		}
 		copy(plan.Out.Vals[w:], seg)
 		w += len(seg)

@@ -16,9 +16,17 @@ type refKey struct {
 // k on one mode, computed (once per workbench) via the registry's own
 // (k, COO, OMP) variant run on its serial rung — the registry defines
 // its own ground truth instead of a parallel switch.
+//
+// The reference is computed outside refMu (the computation Prepares a
+// fresh instance, which takes the operand lock): concurrent callers may
+// duplicate the work, but each runs on its own output buffer and
+// produces the identical deterministic canon, so the first store wins.
 func (wb *Workbench) Reference(ctx context.Context, k roofline.Kernel, mode int) (Canon, error) {
 	key := refKey{k, mode}
-	if c, ok := wb.refs[key]; ok {
+	wb.refMu.Lock()
+	c, ok := wb.refs[key]
+	wb.refMu.Unlock()
+	if ok {
 		return c, nil
 	}
 	v, err := Lookup(k, roofline.COO, OMP)
@@ -32,8 +40,14 @@ func (wb *Workbench) Reference(ctx context.Context, k roofline.Kernel, mode int)
 	if err := inst.Serial(ctx); err != nil {
 		return nil, err
 	}
-	c := inst.Output()
-	wb.refs[key] = c
+	c = inst.Output()
+	wb.refMu.Lock()
+	if prev, ok := wb.refs[key]; ok {
+		c = prev // a concurrent computation won; keep one canonical object
+	} else {
+		wb.refs[key] = c
+	}
+	wb.refMu.Unlock()
 	return c, nil
 }
 

@@ -3,6 +3,7 @@ package kernelreg
 import (
 	"context"
 	"math/rand"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/fcoo"
@@ -38,14 +39,27 @@ func DefaultConfig() Config {
 
 // Workbench holds one input tensor plus lazily built, deterministically
 // seeded operands (the seeds the measurement harness has always used) and
-// simulated devices, shared by every variant prepared on it. It is not
-// safe for concurrent use; harnesses prepare and run variants
-// sequentially on one workbench.
+// simulated devices, shared by every variant prepared on it.
+//
+// A Workbench is safe for concurrent use: operand, reference, and device
+// lazy-initialization is serialized by an internal mutex, X and every
+// cached operand are read-only once built (Prepare paths clone before
+// sorting), and device-backend executions serialize on a per-workbench
+// device lock so concurrent trials cannot clobber each other's device
+// context. Distinct Instances prepared from one workbench own their own
+// output buffers and may Run concurrently; a single Instance is NOT
+// concurrency-safe — callers (e.g. the pastad batcher) must serialize
+// runs of the same Instance.
 type Workbench struct {
-	// X is the input tensor every variant computes on.
+	// X is the input tensor every variant computes on. It is read-only:
+	// every Prepare and format conversion clones before sorting.
 	X   *tensor.COO
 	cfg Config
 
+	// mu guards the lazy-initialized operand and device fields below.
+	// The critical sections are pure construction (no kernel execution),
+	// so holding mu never blocks on a running trial.
+	mu   sync.Mutex
 	y    *tensor.COO
 	hx   *hicoo.HiCOO
 	hy   *hicoo.HiCOO
@@ -54,7 +68,17 @@ type Workbench struct {
 	mats []*tensor.Matrix
 	dev  *gpusim.Device
 	devs []*gpusim.Device
-	refs map[refKey]Canon
+
+	// refMu guards refs. References are computed outside the lock (the
+	// computation itself Prepares and runs a serial instance, which takes
+	// mu), so two goroutines may race to compute the same reference; both
+	// produce the identical canon and the first store wins.
+	refMu sync.Mutex
+	refs  map[refKey]Canon
+
+	// devMu serializes device-backend executions: the simulated devices
+	// are shared per workbench and SetContext is a per-launch setting.
+	devMu sync.Mutex
 }
 
 // NewWorkbench builds a workbench for x, normalizing zero Config fields
@@ -98,6 +122,14 @@ func (wb *Workbench) Opt(ctx context.Context) parallel.Options {
 // Y is the second Tew operand: same non-zero pattern as X, fresh
 // deterministic values (seed 12345, as the harness has always used).
 func (wb *Workbench) Y() *tensor.COO {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	return wb.yLocked()
+}
+
+// yLocked builds Y under wb.mu (HY needs it while already holding the
+// lock).
+func (wb *Workbench) yLocked() *tensor.COO {
 	if wb.y == nil {
 		y := wb.X.Clone()
 		rng := rand.New(rand.NewSource(12345))
@@ -111,6 +143,8 @@ func (wb *Workbench) Y() *tensor.COO {
 
 // HX is X converted to HiCOO, built once per workbench.
 func (wb *Workbench) HX() *hicoo.HiCOO {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
 	if wb.hx == nil {
 		sp := obs.Begin("hicoo.FromCOO", "X", obs.PhaseConvert, -1)
 		wb.hx = hicoo.FromCOO(wb.X, wb.cfg.BlockBits)
@@ -121,8 +155,10 @@ func (wb *Workbench) HX() *hicoo.HiCOO {
 
 // HY is Y converted to HiCOO.
 func (wb *Workbench) HY() *hicoo.HiCOO {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
 	if wb.hy == nil {
-		y := wb.Y()
+		y := wb.yLocked()
 		sp := obs.Begin("hicoo.FromCOO", "Y", obs.PhaseConvert, -1)
 		wb.hy = hicoo.FromCOO(y, wb.cfg.BlockBits)
 		sp.End()
@@ -132,6 +168,8 @@ func (wb *Workbench) HY() *hicoo.HiCOO {
 
 // Vec is the Ttv vector for one mode (seeded by mode number).
 func (wb *Workbench) Vec(mode int) tensor.Vector {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
 	if v, ok := wb.vecs[mode]; ok {
 		return v
 	}
@@ -142,6 +180,8 @@ func (wb *Workbench) Vec(mode int) tensor.Vector {
 
 // TtmMat is the dense Ttm matrix for one mode (seed mode+100).
 func (wb *Workbench) TtmMat(mode int) *tensor.Matrix {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
 	if u, ok := wb.ttm[mode]; ok {
 		return u
 	}
@@ -153,19 +193,28 @@ func (wb *Workbench) TtmMat(mode int) *tensor.Matrix {
 
 // Mats are the Mttkrp factor matrices, one per mode (seed 777).
 func (wb *Workbench) Mats() []*tensor.Matrix {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
 	if wb.mats == nil {
 		rng := rand.New(rand.NewSource(777))
-		wb.mats = make([]*tensor.Matrix, wb.X.Order())
-		for n := range wb.mats {
-			wb.mats[n] = tensor.NewMatrix(int(wb.X.Dims[n]), wb.cfg.R)
-			wb.mats[n].Randomize(rng)
+		mats := make([]*tensor.Matrix, wb.X.Order())
+		for n := range mats {
+			mats[n] = tensor.NewMatrix(int(wb.X.Dims[n]), wb.cfg.R)
+			mats[n].Randomize(rng)
 		}
+		wb.mats = mats
 	}
 	return wb.mats
 }
 
 // Device is the workbench's simulated GPU, created on first use.
 func (wb *Workbench) Device() *gpusim.Device {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	return wb.deviceLocked()
+}
+
+func (wb *Workbench) deviceLocked() *gpusim.Device {
 	if wb.dev == nil {
 		wb.dev = gpusim.NewDevice("kernelreg", 0)
 	}
@@ -174,6 +223,12 @@ func (wb *Workbench) Device() *gpusim.Device {
 
 // Devices is the two-device set MultiGPU variants partition across.
 func (wb *Workbench) Devices() []*gpusim.Device {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	return wb.devicesLocked()
+}
+
+func (wb *Workbench) devicesLocked() []*gpusim.Device {
 	if wb.devs == nil {
 		wb.devs = []*gpusim.Device{
 			gpusim.NewDevice("kernelreg-0", 4),
@@ -185,8 +240,13 @@ func (wb *Workbench) Devices() []*gpusim.Device {
 
 // onDevice wraps a device kernel so the trial context reaches the
 // device's cooperative-cancellation hook for exactly the call's duration.
+// Device runs serialize on wb.devMu: the device (and its attached
+// context) is a shared per-workbench resource, so two concurrent trials
+// must not interleave SetContext calls.
 func (wb *Workbench) onDevice(run func() error) func(context.Context) error {
 	return func(ctx context.Context) error {
+		wb.devMu.Lock()
+		defer wb.devMu.Unlock()
 		dev := wb.Device()
 		dev.SetContext(ctx)
 		defer dev.SetContext(nil)
@@ -197,6 +257,8 @@ func (wb *Workbench) onDevice(run func() error) func(context.Context) error {
 // onDevices is onDevice for the MultiGPU device set.
 func (wb *Workbench) onDevices(run func() error) func(context.Context) error {
 	return func(ctx context.Context) error {
+		wb.devMu.Lock()
+		defer wb.devMu.Unlock()
 		for _, d := range wb.Devices() {
 			d.SetContext(ctx)
 		}

@@ -1,0 +1,105 @@
+package kernelreg
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestWorkbenchConcurrentVariants hammers one shared Workbench from many
+// goroutines across every registered variant and mode: each goroutine
+// prepares its own Instance (racing the operand/device lazy-init and the
+// reference cache), runs it, and verifies the output against the serial
+// COO reference. Before the Workbench grew its internal locks this
+// failed under -race on the first concurrent HX()/Mats() build; it now
+// pins the documented guarantee the pastad daemon relies on.
+func TestWorkbenchConcurrentVariants(t *testing.T) {
+	x := tensor.RandomCOO([]tensor.Index{20, 15, 10}, 300, rand.New(rand.NewSource(42)))
+	wb := NewWorkbench(x, DefaultConfig())
+
+	type work struct {
+		v    *Variant
+		mode int
+	}
+	var items []work
+	for _, v := range All() {
+		for mode := 0; mode < v.Modes(x); mode++ {
+			items = append(items, work{v, mode})
+		}
+	}
+
+	const goroutines = 8
+	ctx := context.Background()
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Offset the start index per goroutine so different goroutines
+			// contend on different lazy-init paths at the same time.
+			for i := range items {
+				it := items[(i+g*len(items)/goroutines)%len(items)]
+				dev, err := it.v.Verify(ctx, wb, it.mode)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %s mode %d: %w", g, it.v, it.mode, err)
+					return
+				}
+				if dev > 2e-3 {
+					errs <- fmt.Errorf("goroutine %d: %s mode %d deviates %v from reference", g, it.v, it.mode, dev)
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWorkbenchConcurrentAccessors races the raw lazy-init accessors
+// directly (no kernel execution), asserting every goroutine observes the
+// same cached objects — one build per operand, not one per caller.
+func TestWorkbenchConcurrentAccessors(t *testing.T) {
+	x := tensor.RandomCOO([]tensor.Index{12, 11, 9}, 200, rand.New(rand.NewSource(7)))
+	wb := NewWorkbench(x, DefaultConfig())
+
+	const goroutines = 16
+	type views struct {
+		y    *tensor.COO
+		hx   any
+		mats []*tensor.Matrix
+		dev  any
+	}
+	got := make([]views, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = views{y: wb.Y(), hx: wb.HX(), mats: wb.Mats(), dev: wb.Device()}
+			wb.Vec(0)
+			wb.TtmMat(1)
+			wb.HY()
+			wb.Devices()
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if got[g].y != got[0].y || got[g].hx != got[0].hx || got[g].dev != got[0].dev {
+			t.Fatalf("goroutine %d observed different cached operands than goroutine 0", g)
+		}
+		if &got[g].mats[0] == nil || got[g].mats[0] != got[0].mats[0] {
+			t.Fatalf("goroutine %d observed a different Mats build", g)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Cache traffic counters live in the shared obs registry so /metrics
+// exports them next to the kernel-runtime counters.
+var (
+	ctrCacheHits      = obs.GetCounter("daemon.cache.hits")
+	ctrCacheMisses    = obs.GetCounter("daemon.cache.misses")
+	ctrCacheEvictions = obs.GetCounter("daemon.cache.evictions")
+)
+
+// cache is a sharded LRU with singleflight fills: concurrent requests
+// for a missing key block on one build instead of materializing the
+// same tensor (or preparing the same Instance) N times. Shards keep
+// the lock hot-path short — a hit touches one shard mutex for a map
+// lookup plus a list move.
+type cache struct {
+	shards []*cacheShard
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *cacheEntry
+	m   map[string]*list.Element
+}
+
+// cacheEntry is one keyed value. ready closes when the build finishes;
+// waiters then read val/err without further synchronization (both are
+// written exactly once, before the close).
+type cacheEntry struct {
+	key   string
+	ready chan struct{}
+	val   any
+	err   error
+}
+
+func newCache(shards, shardCap int) *cache {
+	if shards < 1 {
+		shards = 1
+	}
+	if shardCap < 1 {
+		shardCap = 1
+	}
+	c := &cache{shards: make([]*cacheShard, shards)}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			cap: shardCap,
+			ll:  list.New(),
+			m:   make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+func (c *cache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// getOrCreate returns the cached value under key, building it exactly
+// once on a miss while concurrent callers for the same key wait for
+// that one build. hit reports whether the value (or the in-flight
+// build joined) already existed. A failed build is removed so a later
+// request retries instead of caching the error forever.
+func (c *cache) getOrCreate(key string, build func() (any, error)) (val any, hit bool, err error) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.m[key]; ok {
+		sh.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		sh.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, false, e.err
+		}
+		ctrCacheHits.Inc()
+		return e.val, true, nil
+	}
+	ctrCacheMisses.Inc()
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	el := sh.ll.PushFront(e)
+	sh.m[key] = el
+	for sh.ll.Len() > sh.cap {
+		// Evict the coldest entry. An evicted in-flight build still
+		// completes for its waiters (they hold the entry pointer); it
+		// just stops being findable.
+		back := sh.ll.Back()
+		sh.ll.Remove(back)
+		delete(sh.m, back.Value.(*cacheEntry).key)
+		ctrCacheEvictions.Inc()
+	}
+	sh.mu.Unlock()
+
+	e.val, e.err = build()
+	if e.err != nil {
+		sh.mu.Lock()
+		if cur, ok := sh.m[key]; ok && cur == el {
+			sh.ll.Remove(el)
+			delete(sh.m, key)
+		}
+		sh.mu.Unlock()
+	}
+	close(e.ready)
+	return e.val, false, e.err
+}
+
+// len reports the live entry count across shards (a /metrics gauge).
+func (c *cache) len() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+)
+
+// HTTPServer is an HTTP server whose listener was bound synchronously:
+// StartHTTP returns an error immediately on a bad address instead of
+// racing an asynchronous ListenAndServe failure against the caller's
+// success banner (the pastabench -pprof bug this helper replaced).
+type HTTPServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	errc chan error
+}
+
+// StartHTTP binds addr, then serves handler (nil = the default mux, as
+// net/http treats it) on a background goroutine. The bind happens on
+// the caller's goroutine, so "address in use", "invalid address", and
+// permission failures are returned here — a caller that gets a non-nil
+// *HTTPServer is guaranteed to be listening on Addr().
+func StartHTTP(addr string, handler http.Handler) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hs := &HTTPServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: handler},
+		errc: make(chan error, 1),
+	}
+	go func() {
+		if err := hs.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			hs.errc <- err
+		}
+		close(hs.errc)
+	}()
+	return hs, nil
+}
+
+// Addr returns the bound listen address (resolved, so ":0" callers see
+// the real port).
+func (h *HTTPServer) Addr() string { return h.ln.Addr().String() }
+
+// Err yields any terminal serve error; the channel closes when the
+// serve loop exits.
+func (h *HTTPServer) Err() <-chan error { return h.errc }
+
+// Shutdown drains in-flight requests and stops the server.
+func (h *HTTPServer) Shutdown(ctx context.Context) error { return h.srv.Shutdown(ctx) }
+
+// Close stops the server immediately.
+func (h *HTTPServer) Close() error { return h.srv.Close() }

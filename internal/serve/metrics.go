@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// handleMetrics renders every counter in the obs registry — the
+// kernel-runtime counters (parallel chunks, fallbacks, breaker trips)
+// and the daemon's own (requests, cache traffic, quota rejections) —
+// in Prometheus text exposition format, plus a few daemon gauges. One
+// registry, one scrape endpoint.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	snap := obs.CounterSnapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := "pasta_" + metricName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, snap[name])
+	}
+
+	gauges := []struct {
+		name string
+		val  float64
+	}{
+		{"daemon_uptime_seconds", time.Since(s.start).Seconds()},
+		{"daemon_inflight", float64(len(s.inflight))},
+		{"daemon_cache_entries", float64(s.cache.len())},
+	}
+	for _, g := range gauges {
+		m := "pasta_" + g.name
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", m, m, g.val)
+	}
+}
+
+// metricName maps a dotted obs counter name onto the Prometheus
+// metric-name alphabet ("daemon.cache.hits" → "daemon_cache_hits").
+func metricName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}

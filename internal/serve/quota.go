@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var (
+	ctrQuotaRejects    = obs.GetCounter("daemon.quota.rejections")
+	ctrOverloadRejects = obs.GetCounter("daemon.overload.rejections")
+	// ctrClientOverflow absorbs clients beyond the per-client tracking
+	// cap so the obs registry cannot grow without bound under an
+	// address-spoofing flood.
+	ctrClientOverflow = obs.GetCounter("daemon.client.other.requests")
+)
+
+// maxTrackedClients bounds how many distinct per-client counters the
+// daemon registers; extra clients share one overflow counter (and are
+// quota-exempt rather than collectively throttled, since the overflow
+// bucket mixes unrelated callers).
+const maxTrackedClients = 1024
+
+// quotas implements per-client admission: each client's lifetime
+// request count lives in an obs counter (exported via /metrics), and
+// the quota decision is a windowed delta over that same counter — the
+// counter registry is the single source of truth, not a parallel
+// bookkeeping structure.
+type quotas struct {
+	limit  int64         // admitted requests per window; <= 0 disables
+	window time.Duration // 0 = lifetime budget
+
+	mu sync.Mutex
+	m  map[string]*clientState
+}
+
+type clientState struct {
+	ctr *obs.Counter
+	// base is the counter value when the current window opened.
+	base        int64
+	windowStart time.Time
+}
+
+func newQuotas(limit int64, window time.Duration) *quotas {
+	return &quotas{limit: limit, window: window, m: make(map[string]*clientState)}
+}
+
+// admit records one request for the client and reports whether it is
+// within quota. Rejected requests are not charged against the window
+// (a throttled client's retries do not push recovery further away).
+func (q *quotas) admit(client string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st, ok := q.m[client]
+	if !ok {
+		if len(q.m) >= maxTrackedClients {
+			ctrClientOverflow.Inc()
+			return true
+		}
+		st = &clientState{
+			ctr:         obs.GetCounter("daemon.client." + promSafe(client) + ".requests"),
+			windowStart: time.Now(),
+		}
+		st.base = st.ctr.Value()
+		q.m[client] = st
+	}
+	if q.limit > 0 {
+		if q.window > 0 && time.Since(st.windowStart) >= q.window {
+			st.windowStart = time.Now()
+			st.base = st.ctr.Value()
+		}
+		if st.ctr.Value()-st.base >= q.limit {
+			ctrQuotaRejects.Inc()
+			return false
+		}
+	}
+	st.ctr.Inc()
+	return true
+}
+
+// clientID identifies the caller for quota accounting: the
+// X-Pasta-Client header when present (trusted-network deployments name
+// themselves), otherwise the connection's source address.
+func clientID(r *http.Request) string {
+	if c := strings.TrimSpace(r.Header.Get("X-Pasta-Client")); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil || host == "" {
+		return "unknown"
+	}
+	return host
+}
+
+// promSafe maps an arbitrary client string onto the counter-name (and
+// Prometheus metric-name) alphabet, truncating unreasonable lengths.
+func promSafe(s string) string {
+	if len(s) > 64 {
+		s = s[:64]
+	}
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}

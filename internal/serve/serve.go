@@ -1,0 +1,621 @@
+// Package serve implements pastad, the benchmark-as-a-service daemon:
+// an HTTP/JSON front door over the kernel-variant registry that accepts
+// kernel-execution requests from many concurrent clients.
+//
+// The daemon composes the suite's existing subsystems rather than
+// re-implementing them:
+//
+//   - a sharded LRU cache holds materialized dataset tensors (one
+//     goroutine-safe kernelreg.Workbench per dataset) and prepared
+//     kernelreg.Instance objects keyed by (dataset, variant, mode),
+//     with singleflight fills so a thundering herd builds each once;
+//   - identical concurrent requests batch onto one in-flight execution
+//     of the shared prepared Instance (an Instance is single-writer);
+//   - every execution walks the resilience degradation ladder (native
+//     backend → verified serial fallback) under one daemon-wide Runner,
+//     whose per-backend circuit breakers are surfaced in responses;
+//   - admission control caps concurrent executions and per-client
+//     quotas are accounted in the internal/obs counter registry, which
+//     /metrics exports in Prometheus text format next to the runtime
+//     counters of every other subsystem.
+//
+// Failures map onto HTTP statuses through the resilience error
+// taxonomy: unregistered variants are 404, open breakers 503, trial
+// deadlines 504, non-finite outputs 422, contained panics 500,
+// exhausted ladders 502, quota exhaustion 429.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/kernelreg"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/roofline"
+)
+
+var (
+	ctrRequests    = obs.GetCounter("daemon.requests")
+	ctrErrors      = obs.GetCounter("daemon.errors")
+	ctrBatchRuns   = obs.GetCounter("daemon.batch.runs")
+	ctrBatchJoined = obs.GetCounter("daemon.batch.joined")
+	ctrLatencyUsec = obs.GetCounter("daemon.request_usec")
+)
+
+// Config carries the daemon's tunables; zero values select the
+// documented defaults.
+type Config struct {
+	// NNZ is the stand-in non-zero count datasets materialize with
+	// (default 5000; real tensors from PASTA_TENSOR_DIR always win).
+	NNZ int
+	// Seed is the dataset generation seed (default 42).
+	Seed int64
+	// Bench carries the kernel parameters (R, block bits, segment size,
+	// schedule); zero fields normalize to the paper defaults.
+	Bench kernelreg.Config
+	// CacheShards is the LRU shard count (default 8).
+	CacheShards int
+	// ShardCap is the LRU capacity per shard (default 32 entries).
+	ShardCap int
+	// MaxInflight caps concurrently executing requests; excess requests
+	// are rejected 503 rather than queued (default 2×GOMAXPROCS).
+	MaxInflight int
+	// QuotaLimit is the per-client admitted-request budget per
+	// QuotaWindow; 0 disables quotas.
+	QuotaLimit int64
+	// QuotaWindow is the quota accounting window; 0 makes QuotaLimit a
+	// lifetime budget.
+	QuotaWindow time.Duration
+	// Timeout bounds one trial (all rungs and retries; default 30s).
+	Timeout time.Duration
+	// Runner executes trials; tests inject one to observe breakers.
+	// Defaults to a fresh resilience.Runner.
+	Runner *resilience.Runner
+}
+
+// Server is the daemon state shared by all requests.
+type Server struct {
+	cfg      Config
+	cache    *cache
+	quotas   *quotas
+	runner   *resilience.Runner
+	inflight chan struct{}
+	start    time.Time
+	mux      *http.ServeMux
+}
+
+// New builds a Server, normalizing zero Config fields.
+func New(cfg Config) *Server {
+	if cfg.NNZ <= 0 {
+		cfg.NNZ = 5000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = 8
+	}
+	if cfg.ShardCap <= 0 {
+		cfg.ShardCap = 32
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    newCache(cfg.CacheShards, cfg.ShardCap),
+		quotas:   newQuotas(cfg.QuotaLimit, cfg.QuotaWindow),
+		runner:   cfg.Runner,
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		start:    time.Now(),
+		mux:      http.NewServeMux(),
+	}
+	if s.runner == nil {
+		s.runner = &resilience.Runner{}
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/variants", s.handleVariants)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/run", s.handleRun)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler (httptest mounts it
+// directly; pastad serves it via StartHTTP).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// RunRequest is the POST /run body.
+type RunRequest struct {
+	// Dataset is a Table 2/3 tensor by ID or name ("r2", "nell2", ...).
+	Dataset string `json:"dataset"`
+	// Kernel is one of Tew, Ts, Ttv, Ttm, Mttkrp (case-insensitive).
+	Kernel string `json:"kernel"`
+	// Format is one of COO, HiCOO, CSF, fCOO (case-insensitive).
+	Format string `json:"format"`
+	// Backend is omp, gpu, or multigpu; empty picks the host variant
+	// the measurement harness would (OMP first, then simulated GPU).
+	Backend string `json:"backend"`
+	// Mode is the tensor mode for mode-dependent kernels (Ttv, Ttm,
+	// Mttkrp); ignored for Tew/Ts.
+	Mode int `json:"mode"`
+	// Verify adds the worst relative deviation from the serial-COO
+	// reference to the response (computed once per variant, cached).
+	Verify bool `json:"verify"`
+	// Fallback controls the serial rung of the degradation ladder;
+	// omitted means true. Setting false turns a native-backend failure
+	// into a typed error response instead of a degraded result.
+	Fallback *bool `json:"fallback"`
+}
+
+// RunResponse is the POST /run success body.
+type RunResponse struct {
+	Dataset string `json:"dataset"`
+	Variant string `json:"variant"`
+	Mode    int    `json:"mode"`
+	// Outcome is the resilience report: "ok", "recovered",
+	// "fell-back:serial", ...
+	Outcome  string `json:"outcome"`
+	Backend  string `json:"backend"`
+	FellFrom string `json:"fellFrom,omitempty"`
+	Attempts int    `json:"attempts"`
+	Strategy string `json:"strategy,omitempty"`
+	// Flops is the Table 1 work of one execution; GFLOPS divides it by
+	// the measured wall time.
+	Flops      int64   `json:"flops"`
+	ElapsedSec float64 `json:"elapsedSec"`
+	GFLOPS     float64 `json:"gflops"`
+	// CacheHit reports whether the prepared Instance already existed;
+	// WorkbenchHit whether the dataset tensor did.
+	CacheHit     bool `json:"cacheHit"`
+	WorkbenchHit bool `json:"workbenchHit"`
+	// Batched reports the request was coalesced onto another identical
+	// in-flight execution and shares its result.
+	Batched bool `json:"batched"`
+	// Deviation is the worst relative deviation vs the serial-COO
+	// reference (present when the request asked to verify).
+	Deviation *float64 `json:"deviation,omitempty"`
+	// BreakersOpen lists backends whose circuit breaker is currently
+	// open on this daemon.
+	BreakersOpen []string `json:"breakersOpen,omitempty"`
+}
+
+// ErrorBody is the typed error payload of every non-2xx response.
+type ErrorBody struct {
+	// Type names the failure class: panic, deadline, non-finite,
+	// breaker-open, exhausted, unsupported, not-found, bad-request,
+	// quota, overload, method.
+	Type    string `json:"type"`
+	Message string `json:"message"`
+	Kernel  string `json:"kernel,omitempty"`
+	Format  string `json:"format,omitempty"`
+	Backend string `json:"backend,omitempty"`
+}
+
+type errorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// statusOf maps an execution error onto (HTTP status, taxonomy type)
+// via the resilience sentinels. Specific classes are checked before
+// ErrExhausted so an exhausted ladder reports its root cause.
+func statusOf(err error) (int, string) {
+	switch {
+	case errors.Is(err, resilience.ErrUnsupported):
+		return http.StatusNotFound, "unsupported"
+	case errors.Is(err, resilience.ErrBreakerOpen):
+		return http.StatusServiceUnavailable, "breaker-open"
+	case errors.Is(err, resilience.ErrDeadline):
+		return http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, resilience.ErrNonFinite):
+		return http.StatusUnprocessableEntity, "non-finite"
+	case errors.Is(err, resilience.ErrPanic):
+		return http.StatusInternalServerError, "panic"
+	case errors.Is(err, resilience.ErrExhausted):
+		return http.StatusBadGateway, "exhausted"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client hung up; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, body ErrorBody) {
+	ctrErrors.Inc()
+	writeJSON(w, status, errorResponse{Error: body})
+}
+
+// writeExecError renders an execution error with the taxonomy mapping
+// and the trial label pulled from the *resilience.KernelError when one
+// is present.
+func writeExecError(w http.ResponseWriter, err error) {
+	status, typ := statusOf(err)
+	body := ErrorBody{Type: typ, Message: err.Error()}
+	var ke *resilience.KernelError
+	if errors.As(err, &ke) {
+		body.Kernel = ke.Label.Kernel
+		body.Format = ke.Label.Format
+		body.Backend = ke.Label.Backend
+	}
+	writeError(w, status, body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptimeSec": time.Since(s.start).Seconds(),
+		"variants":  len(kernelreg.All()),
+		"cached":    s.cache.len(),
+	})
+}
+
+// variantInfo is one /variants row.
+type variantInfo struct {
+	Kernel        string `json:"kernel"`
+	Format        string `json:"format"`
+	Backend       string `json:"backend"`
+	ModeDependent bool   `json:"modeDependent"`
+	NeedsFactors  bool   `json:"needsFactors"`
+	StrategyAware bool   `json:"strategyAware"`
+	SerialRef     bool   `json:"serialRef"`
+}
+
+func (s *Server) handleVariants(w http.ResponseWriter, r *http.Request) {
+	all := kernelreg.All()
+	out := make([]variantInfo, 0, len(all))
+	for _, v := range all {
+		out = append(out, variantInfo{
+			Kernel:        v.Kernel.String(),
+			Format:        v.Format.String(),
+			Backend:       v.Backend.String(),
+			ModeDependent: v.Caps.ModeDependent,
+			NeedsFactors:  v.Caps.NeedsFactors,
+			StrategyAware: v.Caps.StrategyAware,
+			SerialRef:     v.Caps.SerialRef,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, ErrorBody{Type: "method", Message: "POST /run"})
+		return
+	}
+	ctrRequests.Inc()
+	start := time.Now()
+	defer func() { ctrLatencyUsec.Add(time.Since(start).Microseconds()) }()
+
+	if !s.quotas.admit(clientID(r)) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, ErrorBody{
+			Type: "quota", Message: "client quota exhausted"})
+		return
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		defer func() { <-s.inflight }()
+	default:
+		ctrOverloadRejects.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, ErrorBody{
+			Type: "overload", Message: "daemon at max in-flight requests"})
+		return
+	}
+
+	var req RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, ErrorBody{Type: "bad-request", Message: err.Error()})
+		return
+	}
+	resp, err := s.Run(req)
+	if err != nil {
+		var br *badRequestError
+		if errors.As(err, &br) {
+			writeError(w, br.status, br.body)
+			return
+		}
+		writeExecError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// badRequestError carries a pre-rendered request-level failure (parse
+// or lookup, not execution).
+type badRequestError struct {
+	status int
+	body   ErrorBody
+}
+
+func (e *badRequestError) Error() string { return e.body.Message }
+
+// Run resolves, caches, batches, and executes one request. It is the
+// transport-independent core of POST /run.
+func (s *Server) Run(req RunRequest) (*RunResponse, error) {
+	k, f, b, err := parseVariant(req)
+	if err != nil {
+		return nil, err
+	}
+	var v *kernelreg.Variant
+	if strings.TrimSpace(req.Backend) == "" {
+		v, err = kernelreg.HostVariant(k, f)
+	} else {
+		v, err = kernelreg.Lookup(k, f, b)
+	}
+	if err != nil {
+		return nil, err
+	}
+	wbe, wbHit, err := s.workbench(req.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	mode := req.Mode
+	if !v.Caps.ModeDependent {
+		mode = 0 // Tew/Ts compute no per-mode quantity
+	} else if mode < 0 || mode >= wbe.wb.X.Order() {
+		return nil, &badRequestError{http.StatusBadRequest, ErrorBody{
+			Type:    "bad-request",
+			Message: fmt.Sprintf("mode %d out of range for order-%d tensor %s", mode, wbe.wb.X.Order(), wbe.name),
+		}}
+	}
+	ie, instHit, err := s.instance(wbe, v, mode)
+	if err != nil {
+		return nil, err
+	}
+	resp, batched, err := s.execute(ie, runOpts{verify: req.Verify, fallback: req.Fallback == nil || *req.Fallback})
+	if err != nil {
+		return nil, err
+	}
+	resp.Dataset = wbe.name
+	resp.CacheHit = instHit
+	resp.WorkbenchHit = wbHit
+	resp.Batched = batched
+	return resp, nil
+}
+
+// parseVariant resolves the request's kernel/format/backend strings.
+func parseVariant(req RunRequest) (roofline.Kernel, roofline.Format, kernelreg.Backend, error) {
+	bad := func(what, got string) error {
+		return &badRequestError{http.StatusBadRequest, ErrorBody{
+			Type: "bad-request", Message: fmt.Sprintf("unknown %s %q", what, got)}}
+	}
+	var (
+		k     roofline.Kernel
+		f     roofline.Format
+		b     kernelreg.Backend
+		found bool
+	)
+	for _, kk := range roofline.Kernels {
+		if strings.EqualFold(kk.String(), req.Kernel) {
+			k, found = kk, true
+			break
+		}
+	}
+	if !found {
+		return 0, 0, 0, bad("kernel", req.Kernel)
+	}
+	found = false
+	for _, ff := range roofline.Formats {
+		if strings.EqualFold(ff.String(), req.Format) {
+			f, found = ff, true
+			break
+		}
+	}
+	if !found {
+		return 0, 0, 0, bad("format", req.Format)
+	}
+	switch strings.ToLower(strings.TrimSpace(req.Backend)) {
+	case "", "omp":
+		b = kernelreg.OMP
+	case "gpu":
+		b = kernelreg.GPU
+	case "multigpu":
+		b = kernelreg.MultiGPU
+	default:
+		return 0, 0, 0, bad("backend", req.Backend)
+	}
+	return k, f, b, nil
+}
+
+// wbEntry is one cached dataset: the materialized tensor wrapped in a
+// goroutine-safe Workbench.
+type wbEntry struct {
+	name string // canonical dataset name (r2 and nell2 share one entry)
+	wb   *kernelreg.Workbench
+}
+
+// workbench returns the cached Workbench for a dataset, materializing
+// the tensor on first use (singleflight: a thundering herd generates
+// it once).
+func (s *Server) workbench(ds string) (*wbEntry, bool, error) {
+	e, err := dataset.ByID(strings.TrimSpace(ds))
+	if err != nil {
+		return nil, false, &badRequestError{http.StatusNotFound, ErrorBody{
+			Type: "not-found", Message: err.Error()}}
+	}
+	val, hit, err := s.cache.getOrCreate("wb:"+e.Name, func() (any, error) {
+		sp := obs.Begin("daemon.materialize", e.Name, obs.PhasePrepare, -1)
+		defer sp.End()
+		x, err := dataset.Materialize(e, s.cfg.NNZ, s.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return &wbEntry{name: e.Name, wb: kernelreg.NewWorkbench(x, s.cfg.Bench)}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return val.(*wbEntry), hit, nil
+}
+
+// instEntry is one cached prepared Instance plus its execution state.
+// An Instance has a single output buffer, so runs serialize on mu;
+// identical concurrent requests batch through flights instead of
+// queuing on the lock.
+type instEntry struct {
+	v    *kernelreg.Variant
+	wbe  *wbEntry
+	mode int
+	inst *kernelreg.Instance
+
+	mu sync.Mutex // serializes executions of this instance
+
+	fmu     sync.Mutex
+	flights map[runOpts]*flight
+}
+
+// instance returns the cached prepared Instance for (dataset, variant,
+// mode), preparing it on first use.
+func (s *Server) instance(wbe *wbEntry, v *kernelreg.Variant, mode int) (*instEntry, bool, error) {
+	key := fmt.Sprintf("inst:%s/%s/m%d", wbe.name, v, mode)
+	val, hit, err := s.cache.getOrCreate(key, func() (any, error) {
+		inst, err := v.Prepare(wbe.wb, mode)
+		if err != nil {
+			return nil, err
+		}
+		return &instEntry{v: v, wbe: wbe, mode: mode, inst: inst, flights: make(map[runOpts]*flight)}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return val.(*instEntry), hit, nil
+}
+
+// runOpts is the batching key: only requests that would produce the
+// same response body may share one execution.
+type runOpts struct {
+	verify   bool
+	fallback bool
+}
+
+// flight is one in-progress execution identical requests wait on.
+type flight struct {
+	done chan struct{}
+	resp *RunResponse
+	err  error
+}
+
+// execute runs the instance, coalescing identical concurrent requests
+// onto one trial: the first request becomes the leader and runs; the
+// rest wait on its flight and share the result (and its measured
+// time — the semantics of a benchmark batch, one execution observed by
+// all).
+func (s *Server) execute(ie *instEntry, opts runOpts) (*RunResponse, bool, error) {
+	ie.fmu.Lock()
+	if f := ie.flights[opts]; f != nil {
+		ie.fmu.Unlock()
+		<-f.done
+		ctrBatchJoined.Inc()
+		if f.err != nil {
+			return nil, true, f.err
+		}
+		// Copy so the caller's response mutations (cache-hit flags)
+		// don't race other waiters'.
+		resp := *f.resp
+		return &resp, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	ie.flights[opts] = f
+	ie.fmu.Unlock()
+
+	ctrBatchRuns.Inc()
+	f.resp, f.err = s.runTrial(ie, opts)
+	ie.fmu.Lock()
+	delete(ie.flights, opts)
+	ie.fmu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return nil, false, f.err
+	}
+	resp := *f.resp
+	return &resp, false, nil
+}
+
+// runTrial executes one guarded trial of the prepared instance down
+// the degradation ladder and assembles the response.
+func (s *Server) runTrial(ie *instEntry, opts runOpts) (*RunResponse, error) {
+	ie.mu.Lock()
+	defer ie.mu.Unlock()
+	label := ie.v.Label()
+	t := resilience.Trial{
+		Label:   label,
+		Timeout: s.cfg.Timeout,
+		Retries: 1,
+		Backoff: time.Millisecond,
+		Rungs:   []resilience.Rung{{Backend: label.Backend, Exec: ie.inst.Run}},
+		Check:   ie.inst.Check,
+	}
+	if opts.fallback && ie.inst.Serial != nil {
+		t.Rungs = append(t.Rungs, resilience.Rung{Backend: "serial", Exec: ie.inst.Serial})
+	}
+	sp := obs.Begin("daemon.trial", label.String(), obs.PhaseTrial, -1)
+	start := time.Now()
+	rep := s.runner.Do(context.Background(), t)
+	elapsed := time.Since(start).Seconds()
+	sp.Attr("outcome", rep.String())
+	sp.End()
+	if rep.Settled != nil {
+		// The shared instance's output buffer must be quiescent before
+		// the next request (or the verify below) touches it.
+		<-rep.Settled
+	}
+	if rep.Err != nil {
+		return nil, rep.Err
+	}
+	resp := &RunResponse{
+		Variant:      ie.v.String(),
+		Mode:         ie.mode,
+		Outcome:      rep.String(),
+		Backend:      rep.Backend,
+		FellFrom:     rep.FellFrom,
+		Attempts:     rep.Attempts,
+		Flops:        ie.inst.Flops,
+		ElapsedSec:   elapsed,
+		BreakersOpen: s.openBreakers(),
+	}
+	if elapsed > 0 {
+		resp.GFLOPS = float64(ie.inst.Flops) / elapsed / 1e9
+	}
+	if ie.inst.Strategy != nil && rep.Backend == label.Backend {
+		resp.Strategy = ie.inst.Strategy()
+	}
+	if opts.verify {
+		ref, err := ie.wbe.wb.Reference(context.Background(), ie.v.Kernel, ie.mode)
+		if err != nil {
+			return nil, err
+		}
+		dev := kernelreg.Compare(ie.inst.Output(), ref)
+		resp.Deviation = &dev
+	}
+	return resp, nil
+}
+
+// openBreakers lists the backends whose circuit breaker is open.
+func (s *Server) openBreakers() []string {
+	var out []string
+	for _, b := range []string{"omp", "gpu", "multigpu", "serial"} {
+		if s.runner.BreakerOpen(b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
