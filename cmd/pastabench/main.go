@@ -35,6 +35,7 @@ type options struct {
 	blockBits   uint
 	measureHost bool
 	ertFull     bool
+	ranks       string
 	paperScale  bool
 	plot        bool
 	jsonDir     string
@@ -55,7 +56,7 @@ type options struct {
 
 func main() {
 	var (
-		exp = flag.String("exp", "all", "experiments: table1,table2,table3,table4,fig3,fig4,fig5,fig6,fig7,observations,ablation,all")
+		exp = flag.String("exp", "all", "experiments: table1,table2,table3,table4,fig3,fig4,fig5,fig6,fig7,observations,ablation,dist,all")
 		o   options
 	)
 	flag.IntVar(&o.nnz, "nnz", 50000, "target non-zeros for dataset stand-ins")
@@ -65,6 +66,7 @@ func main() {
 	flag.UintVar(&o.blockBits, "blockbits", 7, "log2 of the HiCOO block size (paper: 7 -> B=128)")
 	flag.BoolVar(&o.measureHost, "measure-host", false, "also wall-clock-measure kernels on the host for fig4-7")
 	flag.BoolVar(&o.ertFull, "ert-full", false, "run the full-size ERT micro-benchmarks (slower)")
+	flag.StringVar(&o.ranks, "ranks", "1,2,4,8", "simulated worker counts for the dist experiment, comma-separated")
 	flag.BoolVar(&o.paperScale, "paper-scale", true, "scale modeled workloads to the Table 2/3 paper sizes (structure measured on stand-ins)")
 	flag.BoolVar(&o.plot, "plot", false, "render figures 4-7 as ASCII bar charts after the tables")
 	flag.StringVar(&o.jsonDir, "json", "", "also write each figure's series as JSON into this directory")
@@ -106,8 +108,9 @@ func main() {
 		"fig7":         func(o options) { runFigure(o, "fig7", "DGX-1V") },
 		"observations": runObservations,
 		"ablation":     runAblations,
+		"dist":         runDistScaling,
 	}
-	order := []string{"table1", "table2", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "observations", "ablation"}
+	order := []string{"table1", "table2", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "observations", "ablation", "dist"}
 
 	var selected []string
 	if *exp == "all" {

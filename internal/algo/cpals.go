@@ -23,11 +23,44 @@ type CPResult struct {
 	Iters int
 }
 
+// MttkrpFunc computes the mode-n MTTKRP of the (implicit) input tensor
+// with the given factor matrices. CPALSWith accepts one so the sweep's
+// dominant kernel is pluggable: the serial/OMP plans here, or a
+// distributed executor (internal/dist) that shards the tensor across
+// workers and allreduces the partials.
+type MttkrpFunc func(mode int, factors []*tensor.Matrix) (*tensor.Matrix, error)
+
 // CPALS computes a rank-R CANDECOMP/PARAFAC decomposition by alternating
 // least squares, the tensor method whose dominant kernel is Mttkrp
 // (§2.5). It stops when the fit improves by less than tol between sweeps
 // or after maxIters sweeps.
 func CPALS(x *tensor.COO, rank, maxIters int, tol float64, seed int64, opt parallel.Options) (*CPResult, error) {
+	if rank <= 0 {
+		return nil, fmt.Errorf("algo: CP rank must be positive")
+	}
+	if x.Order() < 2 {
+		return nil, fmt.Errorf("algo: CP needs an order >= 2 tensor")
+	}
+	plans := make([]*core.MttkrpPlan, x.Order())
+	for n := range plans {
+		p, err := core.PrepareMttkrp(x, n, rank)
+		if err != nil {
+			return nil, err
+		}
+		plans[n] = p
+	}
+	return CPALSWith(x, rank, maxIters, tol, seed,
+		func(mode int, factors []*tensor.Matrix) (*tensor.Matrix, error) {
+			return plans[mode].ExecuteOMP(factors, opt)
+		})
+}
+
+// CPALSWith is CPALS with the MTTKRP execution injected: everything but
+// the sweep's dominant kernel — factor initialization (deterministic in
+// seed), the Hadamard-of-Grams normal equations, column normalization,
+// and the fit stopping rule — stays here, so serial and distributed
+// CP-ALS share one solver and can be cross-checked factor-for-factor.
+func CPALSWith(x *tensor.COO, rank, maxIters int, tol float64, seed int64, mttkrp MttkrpFunc) (*CPResult, error) {
 	if rank <= 0 {
 		return nil, fmt.Errorf("algo: CP rank must be positive")
 	}
@@ -46,14 +79,6 @@ func CPALS(x *tensor.COO, rank, maxIters int, tol float64, seed int64, opt paral
 		res.Factors[n].Randomize(rng)
 		grams[n] = gram(res.Factors[n])
 	}
-	plans := make([]*core.MttkrpPlan, order)
-	for n := 0; n < order; n++ {
-		p, err := core.PrepareMttkrp(x, n, rank)
-		if err != nil {
-			return nil, err
-		}
-		plans[n] = p
-	}
 	normX := frobeniusNorm(x)
 	if normX == 0 {
 		return nil, fmt.Errorf("algo: zero tensor")
@@ -64,7 +89,7 @@ func CPALS(x *tensor.COO, rank, maxIters int, tol float64, seed int64, opt paral
 	for it := 0; it < maxIters; it++ {
 		res.Iters = it + 1
 		for n := 0; n < order; n++ {
-			mt, err := plans[n].ExecuteOMP(res.Factors, opt)
+			mt, err := mttkrp(n, res.Factors)
 			if err != nil {
 				return nil, err
 			}

@@ -26,16 +26,24 @@ func TestAllReduceSum(t *testing.T) {
 				want[i] += bufs[r][i]
 			}
 		}
-		c.Run(func(rank int) { c.AllReduceSum(rank, bufs[rank]) })
+		errs := make([]error, p)
+		c.Run(func(rank int) { errs[rank] = c.AllReduceSum(rank, bufs[rank]) })
 		for r := 0; r < p; r++ {
+			if errs[r] != nil {
+				t.Fatalf("p=%d rank %d: %v", p, r, errs[r])
+			}
 			for i := range want {
 				if math.Abs(float64(bufs[r][i]-want[i])) > 1e-3 {
 					t.Fatalf("p=%d rank %d element %d = %v, want %v", p, r, i, bufs[r][i], want[i])
 				}
 			}
 		}
-		// Message accounting: 2(P-1) messages per rank.
-		_, msgs := c.Stats()
+		// Exact volume accounting: Stats must equal the closed-form model.
+		bytes, msgs := c.Stats()
+		wantBytes, wantMsgs := AllReduceVolume(n, p)
+		if msgs != wantMsgs || bytes != wantBytes {
+			t.Fatalf("p=%d: (%d bytes, %d msgs), want (%d, %d)", p, bytes, msgs, wantBytes, wantMsgs)
+		}
 		if p > 1 && msgs != int64(2*(p-1)*p) {
 			t.Fatalf("p=%d: %d messages, want %d", p, msgs, 2*(p-1)*p)
 		}
@@ -63,7 +71,11 @@ func TestAllReduceSumProperty(t *testing.T) {
 				want[i] += float64(bufs[r][i])
 			}
 		}
-		c.Run(func(rank int) { c.AllReduceSum(rank, bufs[rank]) })
+		c.Run(func(rank int) {
+			if err := c.AllReduceSum(rank, bufs[rank]); err != nil {
+				panic(err)
+			}
+		})
 		for r := 0; r < p; r++ {
 			for i := range want {
 				if math.Abs(float64(bufs[r][i])-want[i]) > 1e-4 {
@@ -71,7 +83,10 @@ func TestAllReduceSumProperty(t *testing.T) {
 				}
 			}
 		}
-		return true
+		// Stats must match the closed-form volume model for every (n, p).
+		bytes, msgs := c.Stats()
+		wantBytes, wantMsgs := AllReduceVolume(n, p)
+		return bytes == wantBytes && msgs == wantMsgs
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
@@ -98,7 +113,11 @@ func TestAllReduceSumShortBuffer(t *testing.T) {
 				want[i] += bufs[r][i]
 			}
 		}
-		c.Run(func(rank int) { c.AllReduceSum(rank, bufs[rank]) })
+		c.Run(func(rank int) {
+			if err := c.AllReduceSum(rank, bufs[rank]); err != nil {
+				panic(err)
+			}
+		})
 		for r := 0; r < tc.p; r++ {
 			for i := range want {
 				if math.Abs(float64(bufs[r][i]-want[i])) > 1e-3 {
@@ -119,6 +138,10 @@ func TestAllReduceSumShortBuffer(t *testing.T) {
 			t.Fatalf("n=%d p=%d: %d bytes, want %d (ValueBytes=%d per message)",
 				tc.n, tc.p, bytes, wantMsgs*ValueBytes, ValueBytes)
 		}
+		if wb, wm := AllReduceVolume(tc.n, tc.p); wb != bytes || wm != msgs {
+			t.Fatalf("n=%d p=%d: AllReduceVolume=(%d,%d) disagrees with measured (%d,%d)",
+				tc.n, tc.p, wb, wm, bytes, msgs)
+		}
 	}
 }
 
@@ -136,7 +159,11 @@ func TestValueBytesDerived(t *testing.T) {
 	for r := range bufs {
 		bufs[r] = make([]tensor.Value, n)
 	}
-	c.Run(func(rank int) { c.AllReduceSum(rank, bufs[rank]) })
+	c.Run(func(rank int) {
+		if err := c.AllReduceSum(rank, bufs[rank]); err != nil {
+			panic(err)
+		}
+	})
 	bytes, msgs := c.Stats()
 	wantMsgs := int64(2 * (p - 1) * p)
 	if msgs != wantMsgs {
@@ -197,14 +224,20 @@ func TestDistributedMttkrpMatchesLocal(t *testing.T) {
 				t.Fatalf("p=%d element %d: %v vs %v", p, i, g, w)
 			}
 		}
-		if p > 1 {
-			if res.CommBytes <= 0 || res.CommMessages <= 0 {
-				t.Fatalf("p=%d: communication not accounted: %+v", p, res)
-			}
-			if res.ModeledCommSec <= 0 {
-				t.Fatal("modeled communication time missing")
-			}
-		} else if res.CommBytes != 0 {
+		// The measured traffic must match the alpha-beta model's assumed
+		// volume exactly: the allreduce moves rows·r values across p ranks.
+		wantBytes, wantMsgs := AllReduceVolume(int(x.Dims[0])*r, p)
+		if res.CommBytes != wantBytes || res.CommMessages != wantMsgs {
+			t.Fatalf("p=%d: measured (%d bytes, %d msgs), model assumes (%d, %d)",
+				p, res.CommBytes, res.CommMessages, wantBytes, wantMsgs)
+		}
+		if gb, gm := c.Stats(); gb != wantBytes || gm != wantMsgs {
+			t.Fatalf("p=%d: Comm.Stats()=(%d,%d), want (%d,%d)", p, gb, gm, wantBytes, wantMsgs)
+		}
+		if p > 1 && res.ModeledCommSec <= 0 {
+			t.Fatal("modeled communication time missing")
+		}
+		if p == 1 && res.CommBytes != 0 {
 			t.Fatal("single rank should not communicate")
 		}
 	}
@@ -231,18 +264,42 @@ func TestDistributedTtvMatchesLocal(t *testing.T) {
 	}
 	for _, p := range []int{1, 3, 6} {
 		c, _ := NewComm(p)
-		res, err := Ttv(c, x, v, 1)
+		res, err := Ttv(c, DefaultNetwork, x, v, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if d := tensor.AbsDiff(res.Out, want); d > 1e-3 {
 			t.Fatalf("p=%d: diff %v", p, d)
 		}
-		if p > 1 && res.CommBytes <= 0 {
-			t.Fatal("gather not accounted")
+		// The gather traffic must hit the communicator's counters (the
+		// seed code summed bytes locally: Stats() stayed zero) and match
+		// the model's assumed volume exactly.
+		mf := res.Out.NNZ()
+		segLens := make([]int, p)
+		for rank := 0; rank < p; rank++ {
+			segLens[rank] = (rank+1)*mf/p - rank*mf/p
+		}
+		wantBytes, wantMsgs := GatherVolume(segLens)
+		if res.CommBytes != wantBytes || res.CommMessages != wantMsgs {
+			t.Fatalf("p=%d: measured (%d bytes, %d msgs), model assumes (%d, %d)",
+				p, res.CommBytes, res.CommMessages, wantBytes, wantMsgs)
+		}
+		if gb, gm := c.Stats(); gb != wantBytes || gm != wantMsgs {
+			t.Fatalf("p=%d: Comm.Stats()=(%d,%d), want (%d,%d)", p, gb, gm, wantBytes, wantMsgs)
+		}
+		if p > 1 {
+			if res.CommBytes <= 0 || res.CommMessages <= 0 {
+				t.Fatal("gather not accounted on the communicator")
+			}
+			if res.ModeledCommSec <= 0 {
+				t.Fatal("modeled gather time missing")
+			}
+			if want := DefaultNetwork.GatherTime(wantBytes, wantMsgs); res.ModeledCommSec != want {
+				t.Fatalf("p=%d: modeled %v, want %v", p, res.ModeledCommSec, want)
+			}
 		}
 	}
-	if _, err := Ttv(NewCommMust(2), x, tensor.NewVector(3), 1); err == nil {
+	if _, err := Ttv(NewCommMust(2), DefaultNetwork, x, tensor.NewVector(3), 1); err == nil {
 		t.Fatal("expected vector-length error")
 	}
 }

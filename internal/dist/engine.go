@@ -1,0 +1,485 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/hicoo"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/tensor"
+)
+
+// Format selects the local-compute representation each worker shards
+// into.
+type Format uint8
+
+const (
+	// FormatCOO computes local partials on raw COO shards.
+	FormatCOO Format = iota
+	// FormatHiCOO converts each shard to HiCOO (block-compressed, §3.2)
+	// before computing — conversion happens once per shard and is reused
+	// across sweeps.
+	FormatHiCOO
+)
+
+func (f Format) String() string {
+	if f == FormatHiCOO {
+		return "HiCOO"
+	}
+	return "COO"
+}
+
+// Options configures an Engine; zero values select the defaults.
+type Options struct {
+	// Ranks is the simulated worker count (default 1).
+	Ranks int
+	// Format is the local shard representation (default FormatCOO).
+	Format Format
+	// BlockBits is the HiCOO block exponent (0 → hicoo.DefaultBlockBits).
+	BlockBits uint8
+	// Net is the alpha-beta model comm time is charged with (zero →
+	// DefaultNetwork).
+	Net NetworkModel
+	// MaxReshards caps how many re-shard retries one distributed call may
+	// spend before reporting resilience.ErrExhausted (0 → Ranks-1, i.e.
+	// degrade all the way down to a single surviving worker).
+	MaxReshards int
+	// Inject, when non-nil, is consulted at the start of every worker's
+	// local compute: a non-nil return fails that worker on that attempt.
+	// The chaos tests drive persistent (every attempt) and transient
+	// failures through it.
+	Inject func(attempt, worker int) error
+}
+
+// Stats is an Engine's cumulative execution record.
+type Stats struct {
+	// Workers is the current live worker count (starts at Ranks, drops
+	// by one per removed worker).
+	Workers int
+	// Attempts counts distributed executions, including retried ones.
+	Attempts int64
+	// RankFailures counts worker failures observed (abort broadcasts).
+	RankFailures int64
+	// Reshards counts re-shard retries taken after a failure.
+	Reshards int64
+	// CommBytes / CommMessages are the measured traffic of successful
+	// attempts; ModeledCommSec the alpha-beta time charged for it.
+	CommBytes      int64
+	CommMessages   int64
+	ModeledCommSec float64
+}
+
+// Engine owns one tensor sharded across simulated workers and executes
+// distributed kernels over it with re-shard-and-retry fault tolerance:
+// a worker failure aborts the in-flight collective (no peer is left
+// blocked in the ring), the failed worker is removed, its non-zeros are
+// re-partitioned across the survivors, and the call retries — so a
+// persistent single-node fault degrades capacity instead of failing the
+// job. Workers keep stable ids across re-shards (comm ranks renumber,
+// worker ids do not), so persistent faults follow the node.
+//
+// An Engine is safe for concurrent use; distributed runs serialize on
+// an internal lock (the parallelism is across the simulated workers
+// inside a run, not across runs).
+type Engine struct {
+	x   *tensor.COO
+	opt Options
+
+	// runMu serializes distributed runs: shard caches and kernel plans
+	// are single-writer per run.
+	runMu sync.Mutex
+
+	// mu guards the mutable state below (readable while a run holds
+	// runMu: Stats() must not block for a whole CP-ALS sweep).
+	mu       sync.Mutex
+	workers  []int // live stable worker ids
+	stats    Stats
+	shards   map[int][]*shard // mode → per-live-worker shards
+	ttvPlans map[int]*core.TtvPlan
+}
+
+// NewEngine builds an engine for x with opt.Ranks simulated workers.
+func NewEngine(x *tensor.COO, opt Options) (*Engine, error) {
+	if opt.Ranks <= 0 {
+		opt.Ranks = 1
+	}
+	if opt.BlockBits < 1 || opt.BlockBits > hicoo.MaxBlockBits {
+		opt.BlockBits = hicoo.DefaultBlockBits
+	}
+	if opt.Net == (NetworkModel{}) {
+		opt.Net = DefaultNetwork
+	}
+	if opt.MaxReshards <= 0 {
+		opt.MaxReshards = opt.Ranks - 1
+	}
+	if x == nil || x.Order() < 1 {
+		return nil, fmt.Errorf("dist: engine needs a non-empty tensor")
+	}
+	e := &Engine{
+		x:        x,
+		opt:      opt,
+		workers:  make([]int, opt.Ranks),
+		shards:   make(map[int][]*shard),
+		ttvPlans: make(map[int]*core.TtvPlan),
+	}
+	for i := range e.workers {
+		e.workers[i] = i
+	}
+	e.stats.Workers = opt.Ranks
+	return e, nil
+}
+
+// Stats snapshots the engine's cumulative execution record.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Workers returns the live worker count.
+func (e *Engine) Workers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.workers)
+}
+
+// liveWorkers snapshots the stable ids of the surviving workers.
+func (e *Engine) liveWorkers() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]int(nil), e.workers...)
+}
+
+// removeWorker drops a failed worker and invalidates every shard cache
+// (the partition width changed). Reports whether the id was live.
+func (e *Engine) removeWorker(id int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, w := range e.workers {
+		if w == id {
+			e.workers = append(e.workers[:i], e.workers[i+1:]...)
+			e.stats.Workers = len(e.workers)
+			e.shards = make(map[int][]*shard)
+			return true
+		}
+	}
+	return false
+}
+
+// runWithReshard drives one distributed call through the re-shard retry
+// loop: attemptFn errors that carry a *RankError remove the failed
+// worker and retry on the survivors (counted as a resilience retry);
+// any other error is final. The retry budget exhausting — or the last
+// worker dying — reports resilience.ErrExhausted with the root cause
+// attached.
+func (e *Engine) runWithReshard(kernel string, attemptFn func(workers []int, attempt int) error) error {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	for attempt := 0; ; attempt++ {
+		workers := e.liveWorkers()
+		if len(workers) == 0 {
+			return fmt.Errorf("dist: %s: no live workers: %w", kernel, resilience.ErrExhausted)
+		}
+		e.mu.Lock()
+		e.stats.Attempts++
+		e.mu.Unlock()
+		err := attemptFn(workers, attempt)
+		if err == nil {
+			return nil
+		}
+		var re *RankError
+		if !errors.As(err, &re) {
+			return err
+		}
+		e.mu.Lock()
+		e.stats.RankFailures++
+		e.mu.Unlock()
+		ctrRankFailures.Inc()
+		if !e.removeWorker(re.Rank) {
+			// A failure attributed to an unknown worker cannot be
+			// re-sharded around; treat it as final.
+			return re
+		}
+		if attempt >= e.opt.MaxReshards || len(e.liveWorkers()) == 0 {
+			return fmt.Errorf("dist: %s gave up after %d re-shard retries (last failure: %w): %w",
+				kernel, attempt, re, resilience.ErrExhausted)
+		}
+		e.mu.Lock()
+		e.stats.Reshards++
+		e.mu.Unlock()
+		ctrReshards.Inc()
+		ctrRetries.Inc()
+		obs.Emit("dist.reshard", kernel, obs.PhaseFallback, -1,
+			obs.Attr{Key: "failed_worker", Val: strconv.Itoa(re.Rank)},
+			obs.Attr{Key: "survivors", Val: strconv.Itoa(len(e.liveWorkers()))})
+	}
+}
+
+// shardsFor returns the per-live-worker mode-wise shards, partitioning
+// on first use (and after any re-shard, which clears the cache).
+func (e *Engine) shardsFor(mode, p int) ([]*shard, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.shards[mode]; ok && len(s) == p {
+		return s, nil
+	}
+	sp := obs.Begin("dist.partition", fmt.Sprintf("m%d/p%d", mode, p), obs.PhasePrepare, -1)
+	coos, err := PartitionByMode(e.x, mode, p)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	ss := make([]*shard, len(coos))
+	for i, c := range coos {
+		ss[i] = &shard{coo: c}
+	}
+	e.shards[mode] = ss
+	return ss, nil
+}
+
+// addComm folds one successful attempt's traffic into the stats.
+func (e *Engine) addComm(bytes, msgs int64, modeled float64) {
+	e.mu.Lock()
+	e.stats.CommBytes += bytes
+	e.stats.CommMessages += msgs
+	e.stats.ModeledCommSec += modeled
+	e.mu.Unlock()
+}
+
+// label names the engine's trials in the resilience taxonomy.
+func (e *Engine) label(kernel string) resilience.Label {
+	return resilience.Label{Kernel: kernel, Format: e.opt.Format.String(), Backend: "dist"}
+}
+
+// Mttkrp runs the mode-n MTTKRP across the live workers: mode-wise
+// shards computed locally (COO or HiCOO), partials combined by ring
+// allreduce, worker failures re-sharded around.
+func (e *Engine) Mttkrp(mode int, mats []*tensor.Matrix, r int) (*MttkrpResult, error) {
+	if mode < 0 || mode >= e.x.Order() {
+		return nil, fmt.Errorf("dist: mode %d out of range", mode)
+	}
+	var res *MttkrpResult
+	err := e.runWithReshard("Mttkrp", func(workers []int, attempt int) error {
+		var err error
+		res, err = e.mttkrpAttempt(workers, attempt, mode, mats, r)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (e *Engine) mttkrpAttempt(workers []int, attempt, mode int, mats []*tensor.Matrix, r int) (*MttkrpResult, error) {
+	p := len(workers)
+	shards, err := e.shardsFor(mode, p)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewComm(p)
+	if err != nil {
+		return nil, err
+	}
+	partials := make([]*tensor.Matrix, p)
+	errs := make([]error, p)
+	c.Run(func(rank int) {
+		worker := workers[rank]
+		sp := obs.Begin("dist.rank", fmt.Sprintf("Mttkrp/m%d", mode), obs.PhaseChunk, worker)
+		sp.Attr("attempt", strconv.Itoa(attempt))
+		defer sp.End()
+		fail := func(err error) {
+			re := &RankError{Rank: worker, Err: err}
+			errs[rank] = re
+			c.Abort(worker, re)
+		}
+		var out *tensor.Matrix
+		// Panic containment per worker: a crashing shard kernel (or an
+		// injected panic) becomes a typed abort, not a process unwind
+		// with peers mid-collective.
+		err := resilience.Run(e.label("Mttkrp"), func() error {
+			if e.opt.Inject != nil {
+				if err := e.opt.Inject(attempt, worker); err != nil {
+					return err
+				}
+			}
+			var err error
+			out, err = e.localMttkrp(shards[rank], mode, mats, r)
+			return err
+		})
+		if err != nil {
+			fail(err)
+			return
+		}
+		if err := c.AllReduceSum(rank, out.Data); err != nil {
+			errs[rank] = err
+			return
+		}
+		partials[rank] = out
+	})
+	if err := distError(c, errs); err != nil {
+		return nil, err
+	}
+	bytes, msgs := c.Stats()
+	modeled := e.opt.Net.AllReduceTime(ValueBytes*int64(e.x.Dims[mode])*int64(r), p)
+	e.addComm(bytes, msgs, modeled)
+	return &MttkrpResult{Out: partials[0], CommBytes: bytes, CommMessages: msgs, ModeledCommSec: modeled}, nil
+}
+
+// localMttkrp computes one worker's partial over its shard. Empty
+// shards short-circuit to a zero partial: the worker still joins the
+// allreduce, it just brings nothing to it.
+func (e *Engine) localMttkrp(s *shard, mode int, mats []*tensor.Matrix, r int) (*tensor.Matrix, error) {
+	if s.coo.NNZ() == 0 {
+		return tensor.NewMatrix(int(e.x.Dims[mode]), r), nil
+	}
+	if e.opt.Format == FormatHiCOO {
+		if s.hx == nil {
+			sp := obs.Begin("hicoo.FromCOO", "dist-shard", obs.PhaseConvert, -1)
+			s.hx = hicoo.FromCOO(s.coo, e.opt.BlockBits)
+			sp.End()
+		}
+		plan, err := core.PrepareMttkrpHiCOO(s.hx, mode, r)
+		if err != nil {
+			return nil, err
+		}
+		return plan.ExecuteSeq(mats)
+	}
+	plan, err := core.PrepareMttkrp(s.coo, mode, r)
+	if err != nil {
+		return nil, err
+	}
+	return plan.ExecuteSeq(mats)
+}
+
+// Ttv runs the mode-n tensor-times-vector across the live workers:
+// contiguous fiber ranges computed locally, value segments gathered at
+// the root through the communicator, worker failures re-sharded around.
+// (Fiber outputs are disjoint regardless of format, so the local loop
+// always runs on the sorted COO fiber structure.)
+func (e *Engine) Ttv(mode int, v tensor.Vector) (*TtvResult, error) {
+	if mode < 0 || mode >= e.x.Order() {
+		return nil, fmt.Errorf("dist: mode %d out of range", mode)
+	}
+	if len(v) != int(e.x.Dims[mode]) {
+		return nil, fmt.Errorf("dist: vector length %d, want %d", len(v), e.x.Dims[mode])
+	}
+	var res *TtvResult
+	err := e.runWithReshard("Ttv", func(workers []int, attempt int) error {
+		var err error
+		res, err = e.ttvAttempt(workers, attempt, mode, v)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (e *Engine) ttvPlanFor(mode int) (*core.TtvPlan, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if plan, ok := e.ttvPlans[mode]; ok {
+		return plan, nil
+	}
+	plan, err := core.PrepareTtv(e.x, mode)
+	if err != nil {
+		return nil, err
+	}
+	e.ttvPlans[mode] = plan
+	return plan, nil
+}
+
+func (e *Engine) ttvAttempt(workers []int, attempt, mode int, v tensor.Vector) (*TtvResult, error) {
+	plan, err := e.ttvPlanFor(mode)
+	if err != nil {
+		return nil, err
+	}
+	p := len(workers)
+	c, err := NewComm(p)
+	if err != nil {
+		return nil, err
+	}
+	mf := plan.NumFibers()
+	fptr := plan.Fptr
+	kInd := plan.X.Inds[mode]
+	xv := plan.X.Vals
+	segLens := make([]int, p)
+	var gathered [][]tensor.Value
+	errs := make([]error, p)
+	c.Run(func(rank int) {
+		worker := workers[rank]
+		sp := obs.Begin("dist.rank", fmt.Sprintf("Ttv/m%d", mode), obs.PhaseChunk, worker)
+		sp.Attr("attempt", strconv.Itoa(attempt))
+		defer sp.End()
+		fail := func(err error) {
+			re := &RankError{Rank: worker, Err: err}
+			errs[rank] = re
+			c.Abort(worker, re)
+		}
+		lo := rank * mf / p
+		hi := (rank + 1) * mf / p
+		segLens[rank] = hi - lo
+		seg := make([]tensor.Value, hi-lo)
+		err := resilience.Run(e.label("Ttv"), func() error {
+			if e.opt.Inject != nil {
+				if err := e.opt.Inject(attempt, worker); err != nil {
+					return err
+				}
+			}
+			for f := lo; f < hi; f++ {
+				var acc tensor.Value
+				for mIdx := fptr[f]; mIdx < fptr[f+1]; mIdx++ {
+					acc += xv[mIdx] * v[kInd[mIdx]]
+				}
+				seg[f-lo] = acc
+			}
+			return nil
+		})
+		if err != nil {
+			fail(err)
+			return
+		}
+		segs, err := c.Gather(rank, seg)
+		if err != nil {
+			errs[rank] = err
+			return
+		}
+		if rank == 0 {
+			gathered = segs
+		}
+	})
+	if err := distError(c, errs); err != nil {
+		return nil, err
+	}
+	w := 0
+	for _, seg := range gathered {
+		copy(plan.Out.Vals[w:], seg)
+		w += len(seg)
+	}
+	bytes, msgs := c.Stats()
+	modeled := e.opt.Net.GatherTime(GatherVolume(segLens))
+	e.addComm(bytes, msgs, modeled)
+	return &TtvResult{Out: plan.Out, CommBytes: bytes, CommMessages: msgs, ModeledCommSec: modeled}, nil
+}
+
+// CPALS runs the CP-ALS sweep with every per-mode MTTKRP executed
+// distributed (mode-wise shards + ring allreduce over the factor
+// update); the dense linear algebra between MTTKRPs is replicated, as
+// in medium-scale distributed CP-ALS. Worker failures mid-sweep
+// re-shard and retry the failing MTTKRP, so the decomposition survives
+// node loss.
+func (e *Engine) CPALS(rank, maxIters int, tol float64, seed int64) (*algo.CPResult, error) {
+	return algo.CPALSWith(e.x, rank, maxIters, tol, seed,
+		func(mode int, factors []*tensor.Matrix) (*tensor.Matrix, error) {
+			res, err := e.Mttkrp(mode, factors, rank)
+			if err != nil {
+				return nil, err
+			}
+			return res.Out, nil
+		})
+}

@@ -1,0 +1,69 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/hicoo"
+	"repro/internal/tensor"
+)
+
+// shard is one worker's slice of the tensor for one mode: the non-zeros
+// whose mode index falls into the worker's output-row range, plus the
+// lazily built HiCOO form for block-scheduled local compute.
+type shard struct {
+	coo *tensor.COO
+	// hx is the HiCOO conversion of coo, built on first HiCOO-format use
+	// (only the owning rank touches it during a run; the engine's run
+	// lock orders runs).
+	hx *hicoo.HiCOO
+}
+
+// PartitionByMode splits x's non-zeros across p workers by their mode-n
+// index: worker w owns output rows [w·I_n/p, (w+1)·I_n/p) and every
+// non-zero whose mode index lands in that range. This is the mode-wise
+// (coarse-grained, output-disjoint) distribution of distributed CP-ALS:
+// each worker's local MTTKRP partial writes only its own rows, so the
+// ring allreduce combines disjoint contributions and the reduction order
+// matches the serial reference per row. Workers with no rows (or no
+// non-zeros — skew makes empty shards routine) get an empty shard and
+// contribute a zero partial.
+func PartitionByMode(x *tensor.COO, mode, p int) ([]*tensor.COO, error) {
+	if mode < 0 || mode >= x.Order() {
+		return nil, fmt.Errorf("dist: partition mode %d out of range for order-%d tensor", mode, x.Order())
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("dist: partition needs >= 1 worker, got %d", p)
+	}
+	rows := int(x.Dims[mode])
+	// bucketOf maps a mode index to its owning worker; building the whole
+	// lookup is O(I_n) and makes the per-nonzero bucketing a single load.
+	bucketOf := make([]int32, rows)
+	for w := 0; w < p; w++ {
+		lo, hi := w*rows/p, (w+1)*rows/p
+		for i := lo; i < hi; i++ {
+			bucketOf[i] = int32(w)
+		}
+	}
+	counts := make([]int, p)
+	ind := x.Inds[mode]
+	for _, i := range ind {
+		counts[bucketOf[i]]++
+	}
+	order := x.Order()
+	out := make([]*tensor.COO, p)
+	for w := 0; w < p; w++ {
+		s := &tensor.COO{Dims: x.Dims, Inds: make([][]tensor.Index, order), Vals: make([]tensor.Value, 0, counts[w])}
+		for n := 0; n < order; n++ {
+			s.Inds[n] = make([]tensor.Index, 0, counts[w])
+		}
+		out[w] = s
+	}
+	for z := 0; z < x.NNZ(); z++ {
+		s := out[bucketOf[ind[z]]]
+		for n := 0; n < order; n++ {
+			s.Inds[n] = append(s.Inds[n], x.Inds[n][z])
+		}
+		s.Vals = append(s.Vals, x.Vals[z])
+	}
+	return out, nil
+}

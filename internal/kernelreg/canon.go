@@ -44,6 +44,13 @@ func canonOf(out any) Canon {
 	return nil
 }
 
+// CanonOf converts a kernel output object (dense matrix, COO, HiCOO,
+// semi-sparse forms) into canonical form for Compare. Exported so
+// out-of-package harnesses — e.g. the distributed layer's cross-checks
+// against Workbench.Reference — verify through the same canonicalization
+// the registry uses.
+func CanonOf(out any) Canon { return canonOf(out) }
+
 // cooCanon accumulates a COO tensor into coordinate→value form.
 func cooCanon(t *tensor.COO) Canon {
 	m := make(Canon, t.NNZ())

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/kernelreg"
+	"repro/internal/obs"
+	"repro/internal/roofline"
+)
+
+// maxDistRanks bounds the simulated worker count one request may ask
+// for: each rank is a goroutine plus a shard copy of the tensor, so an
+// unbounded value would let one request allocate arbitrarily.
+const maxDistRanks = 64
+
+// distEntry is one cached distributed engine, keyed by
+// (dataset, format, ranks). The engine serializes its own runs and
+// keeps its fault-tolerance state (removed workers stay removed), so
+// repeated requests observe a consistent simulated cluster.
+type distEntry struct {
+	eng *dist.Engine
+	wbe *wbEntry
+}
+
+// runDist executes one request on the distributed layer: the tensor
+// sharded mode-wise across req.Ranks simulated workers, Mttkrp combined
+// by ring allreduce, Ttv gathered at the root, worker failures
+// re-sharded around by the engine. The response carries the usual trial
+// fields plus a DistInfo section with measured and alpha-beta-modeled
+// communication.
+func (s *Server) runDist(req RunRequest, k roofline.Kernel, f roofline.Format) (*RunResponse, error) {
+	if req.Ranks > maxDistRanks {
+		return nil, &badRequestError{http.StatusBadRequest, ErrorBody{
+			Type: "bad-request", Message: fmt.Sprintf("ranks %d exceeds the maximum %d", req.Ranks, maxDistRanks)}}
+	}
+	var format dist.Format
+	switch f {
+	case roofline.COO:
+		format = dist.FormatCOO
+	case roofline.HiCOO:
+		format = dist.FormatHiCOO
+	default:
+		return nil, &badRequestError{http.StatusBadRequest, ErrorBody{
+			Type:    "bad-request",
+			Message: fmt.Sprintf("distributed path supports COO and HiCOO, not %s", f),
+			Kernel:  k.String(), Format: f.String(),
+		}}
+	}
+	if k != roofline.Mttkrp && k != roofline.Ttv {
+		return nil, &badRequestError{http.StatusBadRequest, ErrorBody{
+			Type:    "bad-request",
+			Message: fmt.Sprintf("distributed path supports Mttkrp and Ttv, not %s", k),
+			Kernel:  k.String(), Format: f.String(),
+		}}
+	}
+	wbe, wbHit, err := s.workbench(req.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	if req.Mode < 0 || req.Mode >= wbe.wb.X.Order() {
+		return nil, &badRequestError{http.StatusBadRequest, ErrorBody{
+			Type:    "bad-request",
+			Message: fmt.Sprintf("mode %d out of range for order-%d tensor %s", req.Mode, wbe.wb.X.Order(), wbe.name),
+		}}
+	}
+	de, engHit, err := s.distEngine(wbe, format, req.Ranks)
+	if err != nil {
+		return nil, err
+	}
+
+	variant := fmt.Sprintf("%s/%s@dist", k, f)
+	sp := obs.Begin("daemon.dist", variant, obs.PhaseTrial, -1)
+	sp.Attr("ranks", fmt.Sprint(req.Ranks))
+	before := de.eng.Stats()
+	start := time.Now()
+	var out any
+	var flops int64
+	var commBytes, commMsgs int64
+	var modeled float64
+	switch k {
+	case roofline.Mttkrp:
+		r := wbe.wb.R()
+		res, kerr := de.eng.Mttkrp(req.Mode, wbe.wb.Mats(), r)
+		if kerr == nil {
+			out = res.Out
+			commBytes, commMsgs, modeled = res.CommBytes, res.CommMessages, res.ModeledCommSec
+			flops = int64(wbe.wb.X.Order()) * int64(wbe.wb.X.NNZ()) * int64(r)
+		}
+		err = kerr
+	case roofline.Ttv:
+		res, kerr := de.eng.Ttv(req.Mode, wbe.wb.Vec(req.Mode))
+		if kerr == nil {
+			out = res.Out
+			commBytes, commMsgs, modeled = res.CommBytes, res.CommMessages, res.ModeledCommSec
+			flops = 2 * int64(wbe.wb.X.NNZ())
+		}
+		err = kerr
+	}
+	elapsed := time.Since(start).Seconds()
+	after := de.eng.Stats()
+	sp.Attr("outcome", outcomeOf(err))
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+
+	outcome := "ok"
+	reshards := after.Reshards - before.Reshards
+	if reshards > 0 {
+		outcome = "recovered"
+	}
+	resp := &RunResponse{
+		Dataset:      wbe.name,
+		Variant:      variant,
+		Mode:         req.Mode,
+		Outcome:      outcome,
+		Backend:      "dist",
+		Attempts:     int(after.Attempts - before.Attempts),
+		Flops:        flops,
+		ElapsedSec:   elapsed,
+		CacheHit:     engHit,
+		WorkbenchHit: wbHit,
+		Dist: &DistInfo{
+			Ranks:          req.Ranks,
+			LiveWorkers:    after.Workers,
+			CommBytes:      commBytes,
+			CommMessages:   commMsgs,
+			ModeledCommSec: modeled,
+			Reshards:       reshards,
+		},
+	}
+	if elapsed > 0 {
+		resp.GFLOPS = float64(flops) / elapsed / 1e9
+	}
+	if req.Verify {
+		ref, err := wbe.wb.Reference(context.Background(), k, req.Mode)
+		if err != nil {
+			return nil, err
+		}
+		dev := kernelreg.Compare(kernelreg.CanonOf(out), ref)
+		resp.Deviation = &dev
+	}
+	return resp, nil
+}
+
+// distEngine returns the cached engine for (dataset, format, ranks),
+// building it on first use.
+func (s *Server) distEngine(wbe *wbEntry, format dist.Format, ranks int) (*distEntry, bool, error) {
+	key := fmt.Sprintf("dist:%s/%s/p%d", wbe.name, format, ranks)
+	val, hit, err := s.cache.getOrCreate(key, func() (any, error) {
+		eng, err := dist.NewEngine(wbe.wb.X, dist.Options{
+			Ranks:     ranks,
+			Format:    format,
+			BlockBits: s.cfg.Bench.BlockBits,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &distEntry{eng: eng, wbe: wbe}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return val.(*distEntry), hit, nil
+}
+
+// outcomeOf renders a trial error for span attributes.
+func outcomeOf(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
+}

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// postRunHeaders is postRun plus the response headers, for tests that
+// assert on Retry-After.
+func postRunHeaders(t *testing.T, base string, req RunRequest, client string) (int, http.Header, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, base+"/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client != "" {
+		hr.Header.Set("X-Pasta-Client", client)
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, resp.Header, buf.Bytes()
+}
+
+// TestRetryAfterTracksQuotaWindow: the 429 Retry-After header must
+// follow the configured quota window, not a hardcoded constant — two
+// daemons with different windows hand out different hints, each equal
+// to the remaining window (full, since the window just opened).
+func TestRetryAfterTracksQuotaWindow(t *testing.T) {
+	for _, window := range []time.Duration{30 * time.Second, 120 * time.Second} {
+		_, ts := newTestDaemon(t, Config{QuotaLimit: 1, QuotaWindow: window})
+		req := RunRequest{Dataset: "nell2", Kernel: "Tew", Format: "COO"}
+		if status, _, body := postRunHeaders(t, ts.URL, req, "windowed"); status != http.StatusOK {
+			t.Fatalf("window %v: first request HTTP %d: %s", window, status, body)
+		}
+		status, hdr, body := postRunHeaders(t, ts.URL, req, "windowed")
+		if status != http.StatusTooManyRequests {
+			t.Fatalf("window %v: second request HTTP %d, want 429: %s", window, status, body)
+		}
+		ra := hdr.Get("Retry-After")
+		secs, err := strconv.Atoi(ra)
+		if err != nil {
+			t.Fatalf("window %v: Retry-After %q is not delta-seconds", window, ra)
+		}
+		want := int(window / time.Second)
+		// The first request consumed a few milliseconds of the window;
+		// ceil rounding keeps the hint at the full window unless the test
+		// machine stalled for over a second.
+		if secs < want-1 || secs > want {
+			t.Fatalf("window %v: Retry-After %d, want ~%d (header must track the window)", window, secs, want)
+		}
+	}
+}
+
+// TestRetryAfterLifetimeQuotaFloor: a windowless (lifetime) budget never
+// recovers, so the header falls back to the 1-second floor rather than
+// inventing a recovery time.
+func TestRetryAfterLifetimeQuotaFloor(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{QuotaLimit: 1})
+	req := RunRequest{Dataset: "nell2", Kernel: "Tew", Format: "COO"}
+	if status, _, body := postRunHeaders(t, ts.URL, req, "lifetime"); status != http.StatusOK {
+		t.Fatalf("first request HTTP %d: %s", status, body)
+	}
+	status, hdr, _ := postRunHeaders(t, ts.URL, req, "lifetime")
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("second request HTTP %d, want 429", status)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "1" {
+		t.Fatalf("lifetime-budget Retry-After %q, want the 1s floor", ra)
+	}
+}
+
+// TestOverloadRetryAfterDerived: the 503 path must also send a derived
+// Retry-After. The in-flight slot is occupied directly (in-package
+// test), so rejection is deterministic.
+func TestOverloadRetryAfterDerived(t *testing.T) {
+	s, ts := newTestDaemon(t, Config{MaxInflight: 1})
+	s.inflight <- struct{}{}
+	defer func() { <-s.inflight }()
+
+	req := RunRequest{Dataset: "nell2", Kernel: "Tew", Format: "COO"}
+	status, hdr, body := postRunHeaders(t, ts.URL, req, "")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("saturated daemon: HTTP %d, want 503: %s", status, body)
+	}
+	secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || secs < 1 || secs > 3600 {
+		t.Fatalf("overload Retry-After %q, want clamped delta-seconds", hdr.Get("Retry-After"))
+	}
+}
+
+// TestRetryAfterSeconds pins the header rendering: ceil to whole
+// seconds, floor 1, cap 3600.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{-5 * time.Second, "1"},
+		{300 * time.Millisecond, "1"},
+		{1500 * time.Millisecond, "2"},
+		{30 * time.Second, "30"},
+		{2 * time.Hour, "3600"},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestDaemonDistRun drives the distributed path end to end over HTTP:
+// a ranks request shards the dataset across simulated workers, the
+// response carries verified results plus measured comm traffic, the
+// engine is cached across requests, and /metrics exports the dist
+// counters.
+func TestDaemonDistRun(t *testing.T) {
+	obs.EnableCounters(true)
+	defer obs.EnableCounters(false)
+	_, ts := newTestDaemon(t, Config{})
+
+	cases := []struct {
+		name string
+		req  RunRequest
+	}{
+		{"mttkrp-coo", RunRequest{Dataset: "nell2", Kernel: "Mttkrp", Format: "COO", Ranks: 4, Verify: true}},
+		{"mttkrp-hicoo", RunRequest{Dataset: "nell2", Kernel: "Mttkrp", Format: "HiCOO", Ranks: 4, Verify: true}},
+		{"ttv-coo", RunRequest{Dataset: "nell2", Kernel: "Ttv", Format: "COO", Mode: 1, Ranks: 2, Verify: true}},
+	}
+	for _, tc := range cases {
+		status, body := postRun(t, ts.URL, tc.req, "dist")
+		if status != http.StatusOK {
+			t.Fatalf("%s: HTTP %d: %s", tc.name, status, body)
+		}
+		rr := decodeRun(t, body)
+		if rr.Backend != "dist" || !strings.HasSuffix(rr.Variant, "@dist") {
+			t.Fatalf("%s: response not routed to dist: %+v", tc.name, rr)
+		}
+		if rr.Dist == nil {
+			t.Fatalf("%s: response missing dist section: %s", tc.name, body)
+		}
+		if rr.Dist.Ranks != tc.req.Ranks || rr.Dist.LiveWorkers != tc.req.Ranks {
+			t.Fatalf("%s: dist section %+v, want %d healthy ranks", tc.name, rr.Dist, tc.req.Ranks)
+		}
+		if rr.Dist.CommBytes <= 0 || rr.Dist.CommMessages <= 0 || rr.Dist.ModeledCommSec <= 0 {
+			t.Fatalf("%s: comm not accounted: %+v", tc.name, rr.Dist)
+		}
+		if rr.Dist.Reshards != 0 {
+			t.Fatalf("%s: unexpected re-shards on healthy run: %+v", tc.name, rr.Dist)
+		}
+		if rr.Deviation == nil || *rr.Deviation > 2e-3 {
+			t.Fatalf("%s: dist result not verified against serial reference: %+v", tc.name, rr)
+		}
+		if rr.Flops <= 0 {
+			t.Fatalf("%s: flops not reported: %+v", tc.name, rr)
+		}
+
+		// Same (dataset, format, ranks) → cached engine.
+		status, body = postRun(t, ts.URL, tc.req, "dist")
+		if status != http.StatusOK {
+			t.Fatalf("%s repeat: HTTP %d: %s", tc.name, status, body)
+		}
+		if rr := decodeRun(t, body); !rr.CacheHit {
+			t.Fatalf("%s repeat: engine not cached: %+v", tc.name, rr)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	mb := buf.String()
+	for _, want := range []string{"pasta_dist_comm_bytes", "pasta_dist_comm_messages"} {
+		line := ""
+		for _, l := range strings.Split(mb, "\n") {
+			if strings.HasPrefix(l, want+" ") {
+				line = l
+			}
+		}
+		if line == "" || strings.HasSuffix(line, " 0") {
+			t.Fatalf("/metrics %s missing or zero after dist traffic:\n%s", want, line)
+		}
+	}
+}
+
+// TestDaemonDistRequestErrors: malformed ranks requests fail typed, not
+// 500.
+func TestDaemonDistRequestErrors(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+
+	cases := []struct {
+		name string
+		req  RunRequest
+	}{
+		{"negative ranks", RunRequest{Dataset: "nell2", Kernel: "Mttkrp", Format: "COO", Ranks: -1}},
+		{"too many ranks", RunRequest{Dataset: "nell2", Kernel: "Mttkrp", Format: "COO", Ranks: maxDistRanks + 1}},
+		{"unsupported kernel", RunRequest{Dataset: "nell2", Kernel: "Tew", Format: "COO", Ranks: 2}},
+		{"unsupported format", RunRequest{Dataset: "nell2", Kernel: "Mttkrp", Format: "CSF", Ranks: 2}},
+		{"mode out of range", RunRequest{Dataset: "nell2", Kernel: "Ttv", Format: "COO", Mode: 7, Ranks: 2}},
+	}
+	for _, tc := range cases {
+		status, body := postRun(t, ts.URL, tc.req, "")
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400: %s", tc.name, status, body)
+			continue
+		}
+		if eb := decodeError(t, body); eb.Type != "bad-request" {
+			t.Errorf("%s: error type %q, want \"bad-request\"", tc.name, eb.Type)
+		}
+	}
+}

@@ -52,14 +52,17 @@ func newQuotas(limit int64, window time.Duration) *quotas {
 // admit records one request for the client and reports whether it is
 // within quota. Rejected requests are not charged against the window
 // (a throttled client's retries do not push recovery further away).
-func (q *quotas) admit(client string) bool {
+// On rejection, retryAfter is how long until the client's window rolls
+// over and capacity returns — the value the 429's Retry-After header is
+// derived from (zero for a lifetime budget, which never recovers).
+func (q *quotas) admit(client string) (ok bool, retryAfter time.Duration) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	st, ok := q.m[client]
-	if !ok {
+	st, found := q.m[client]
+	if !found {
 		if len(q.m) >= maxTrackedClients {
 			ctrClientOverflow.Inc()
-			return true
+			return true, 0
 		}
 		st = &clientState{
 			ctr:         obs.GetCounter("daemon.client." + promSafe(client) + ".requests"),
@@ -75,11 +78,14 @@ func (q *quotas) admit(client string) bool {
 		}
 		if st.ctr.Value()-st.base >= q.limit {
 			ctrQuotaRejects.Inc()
-			return false
+			if q.window > 0 {
+				return false, time.Until(st.windowStart.Add(q.window))
+			}
+			return false, 0
 		}
 	}
 	st.ctr.Inc()
-	return true
+	return true, 0
 }
 
 // clientID identifies the caller for quota accounting: the

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -157,6 +158,13 @@ type RunRequest struct {
 	// omitted means true. Setting false turns a native-backend failure
 	// into a typed error response instead of a degraded result.
 	Fallback *bool `json:"fallback"`
+	// Ranks > 0 routes the request through the distributed execution
+	// layer: the tensor is sharded mode-wise across that many simulated
+	// workers (Mttkrp: ring allreduce over partials; Ttv: rooted
+	// gather), and the response reports measured + alpha-beta-modeled
+	// communication in "dist". Supported for Mttkrp and Ttv on COO and
+	// HiCOO.
+	Ranks int `json:"ranks"`
 }
 
 // RunResponse is the POST /run success body.
@@ -189,6 +197,28 @@ type RunResponse struct {
 	// BreakersOpen lists backends whose circuit breaker is currently
 	// open on this daemon.
 	BreakersOpen []string `json:"breakersOpen,omitempty"`
+	// Dist reports the distributed execution when the request asked for
+	// ranks > 0.
+	Dist *DistInfo `json:"dist,omitempty"`
+}
+
+// DistInfo is the distributed-path section of a RunResponse: the
+// measured communicator traffic of this call plus the alpha-beta model
+// of it, and the engine's fault-tolerance state.
+type DistInfo struct {
+	// Ranks is the requested worker count; LiveWorkers how many survive
+	// after any re-shards (engines are cached per dataset/format/ranks,
+	// so earlier failures persist).
+	Ranks       int `json:"ranks"`
+	LiveWorkers int `json:"liveWorkers"`
+	// CommBytes/CommMessages are the traffic the communicator measured
+	// for this call; ModeledCommSec is the alpha-beta time for it.
+	CommBytes      int64   `json:"commBytes"`
+	CommMessages   int64   `json:"commMessages"`
+	ModeledCommSec float64 `json:"modeledCommSec"`
+	// Reshards counts re-shard retries this call spent on worker
+	// failures.
+	Reshards int64 `json:"reshards"`
 }
 
 // ErrorBody is the typed error payload of every non-2xx response.
@@ -302,8 +332,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { ctrLatencyUsec.Add(time.Since(start).Microseconds()) }()
 
-	if !s.quotas.admit(clientID(r)) {
-		w.Header().Set("Retry-After", "1")
+	if ok, retry := s.quotas.admit(clientID(r)); !ok {
+		// Retry-After tracks the client's actual window remainder: the
+		// quota recovers when the window rolls over, not in a fixed
+		// second (a lifetime budget never recovers; 1s is the floor the
+		// header grammar allows us to express either way).
+		w.Header().Set("Retry-After", retryAfterSeconds(retry))
 		writeError(w, http.StatusTooManyRequests, ErrorBody{
 			Type: "quota", Message: "client quota exhausted"})
 		return
@@ -313,7 +347,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.inflight }()
 	default:
 		ctrOverloadRejects.Inc()
-		w.Header().Set("Retry-After", "1")
+		// A slot frees after roughly one mean request duration; derive
+		// the hint from the measured in-flight state instead of a
+		// hardcoded constant.
+		w.Header().Set("Retry-After", retryAfterSeconds(s.overloadRetryAfter()))
 		writeError(w, http.StatusServiceUnavailable, ErrorBody{
 			Type: "overload", Message: "daemon at max in-flight requests"})
 		return
@@ -339,6 +376,33 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// retryAfterSeconds renders a duration as a Retry-After header value:
+// integer seconds, rounded up, floored at 1 (the smallest useful hint
+// the delta-seconds grammar can express), capped at an hour so a
+// misconfigured window cannot tell clients to go away for a day.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 3600 {
+		secs = 3600
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// overloadRetryAfter estimates when an in-flight slot frees: the mean
+// request latency measured so far (total request-microseconds over
+// total requests). With no history it falls back to zero, which
+// retryAfterSeconds floors to 1s.
+func (s *Server) overloadRetryAfter() time.Duration {
+	reqs := ctrRequests.Value()
+	if reqs <= 0 {
+		return 0
+	}
+	return time.Duration(ctrLatencyUsec.Value()/reqs) * time.Microsecond
+}
+
 // badRequestError carries a pre-rendered request-level failure (parse
 // or lookup, not execution).
 type badRequestError struct {
@@ -354,6 +418,13 @@ func (s *Server) Run(req RunRequest) (*RunResponse, error) {
 	k, f, b, err := parseVariant(req)
 	if err != nil {
 		return nil, err
+	}
+	if req.Ranks < 0 {
+		return nil, &badRequestError{http.StatusBadRequest, ErrorBody{
+			Type: "bad-request", Message: fmt.Sprintf("ranks must be >= 0, got %d", req.Ranks)}}
+	}
+	if req.Ranks > 0 {
+		return s.runDist(req, k, f)
 	}
 	var v *kernelreg.Variant
 	if strings.TrimSpace(req.Backend) == "" {

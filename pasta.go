@@ -241,17 +241,35 @@ type (
 	Comm = dist.Comm
 	// NetworkModel is the alpha-beta communication cost model.
 	NetworkModel = dist.NetworkModel
+	// DistEngine shards a tensor across simulated workers and runs
+	// Mttkrp, Ttv, and CP-ALS with fault-tolerant re-shard retry.
+	DistEngine = dist.Engine
+	// DistOptions configures a DistEngine (ranks, shard format, network).
+	DistOptions = dist.Options
+	// DistStats reports a DistEngine's attempts, failures, and comm traffic.
+	DistStats = dist.Stats
+	// RankError identifies which simulated rank failed a collective.
+	RankError = dist.RankError
 )
 
 var (
 	// NewComm builds a communicator over p ranks.
 	NewComm = dist.NewComm
+	// NewDistEngine builds a fault-tolerant sharded execution engine.
+	NewDistEngine = dist.NewEngine
 	// DistMttkrp runs Mttkrp with sharded non-zeros + ring allreduce.
 	DistMttkrp = dist.Mttkrp
-	// DistTtv runs Ttv with sharded fibers + gather.
+	// DistTtv runs Ttv with sharded fibers + gather, comm routed through
+	// the communicator and costed by the network model.
 	DistTtv = dist.Ttv
 	// DefaultNetwork approximates a 100 Gb/s interconnect.
 	DefaultNetwork = dist.DefaultNetwork
+)
+
+// Shard-format selectors for DistOptions.
+const (
+	DistFormatCOO   = dist.FormatCOO
+	DistFormatHiCOO = dist.FormatHiCOO
 )
 
 // Synthetic tensor generation (§4.2).
