@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -82,7 +83,7 @@ func runDistScaling(o options) {
 			var res *dist.MttkrpResult
 			for run := 0; run < o.runs; run++ {
 				start := time.Now()
-				r, err := eng.Mttkrp(0, mats, o.r)
+				r, err := eng.Mttkrp(context.Background(), 0, mats, o.r)
 				elapsed := time.Since(start)
 				if err != nil {
 					fmt.Printf("%-6d %-6s error: %v\n", p, format, err)
@@ -121,7 +122,7 @@ func runDistScaling(o options) {
 			fmt.Println("error:", err)
 			return
 		}
-		res, err := eng.CPALS(cpRank, cpIters, 0, o.seed)
+		res, err := eng.CPALS(context.Background(), cpRank, cpIters, 0, o.seed)
 		if err != nil {
 			fmt.Printf("%-6d error: %v\n", p, err)
 			return

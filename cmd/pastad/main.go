@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/govern"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -36,12 +37,25 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing requests (0 = 2×GOMAXPROCS)")
 		quota       = flag.Int64("quota", 0, "per-client admitted requests per quota window (0 = unlimited)")
 		quotaWindow = flag.Duration("quota-window", time.Minute, "quota accounting window (0 = lifetime budget)")
+		memBudget   = flag.String("mem-budget", "", `daemon-wide working-set budget for admission, e.g. "512MiB" ("" = half the memory limit / system RAM)`)
+		admitWait   = flag.Duration("admit-wait", 100*time.Millisecond, "how long an over-capacity request waits at the admission gate before it is shed 503")
+		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "graceful-shutdown bound: how long to wait for in-flight requests on SIGTERM")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "pastad: unexpected arguments %v\n", flag.Args())
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var budget int64
+	if *memBudget != "" {
+		var err error
+		budget, err = govern.ParseBytes(*memBudget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pastad: -mem-budget:", err)
+			os.Exit(2)
+		}
 	}
 
 	// The daemon's own counters flow through the obs registry; /metrics
@@ -57,6 +71,9 @@ func main() {
 		QuotaLimit:  *quota,
 		QuotaWindow: *quotaWindow,
 		Timeout:     *timeout,
+		MemBudget:   budget,
+		AdmitWait:   *admitWait,
+		DrainGrace:  *drainGrace,
 	}
 	if *rank > 0 {
 		cfg.Bench.R = *rank
@@ -71,22 +88,53 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("pastad listening on http://%s (endpoints: /healthz /variants /metrics /run)\n", hs.Addr())
+	fmt.Printf("pastad: memory budget %d bytes, drain grace %s\n", srv.Governor().Budget(), *drainGrace)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		fmt.Printf("pastad: %v, draining\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := hs.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "pastad: shutdown:", err)
-			os.Exit(1)
-		}
+		fmt.Printf("pastad: %v, draining (grace %s)\n", s, *drainGrace)
+		os.Exit(drain(srv, hs, *drainGrace))
 	case err := <-hs.Err():
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pastad:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// drain runs the graceful-shutdown sequence under one grace budget:
+//
+//  1. stop admitting — new requests and flight joiners get 503 +
+//     Retry-After, so a load balancer moves on immediately;
+//  2. close the listener and wait for in-flight HTTP exchanges
+//     (http.Server.Shutdown);
+//  3. wait for every admitted lease to release (leaders finishing
+//     their trials) via the governor;
+//  4. flush a final counter summary so the last scrape interval's
+//     events aren't lost with the process.
+//
+// Returns the process exit code: 0 for a clean drain, 1 when the grace
+// expired with work still in flight (the remains are reported).
+func drain(srv *serve.Server, hs *serve.HTTPServer, grace time.Duration) int {
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+
+	code := 0
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "pastad: http shutdown:", err)
+		hs.Close() // hard-close lingering connections; the drain below still waits for leases
+		code = 1
+	}
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "pastad: drain:", err)
+		code = 1
+	}
+
+	snap := obs.CounterSnapshot()
+	fmt.Printf("pastad: drained (requests=%d shed=%d cancelled=%d errors=%d)\n",
+		snap["daemon.requests"], snap["govern.shed"], snap["govern.cancelled"], snap["daemon.errors"])
+	return code
 }

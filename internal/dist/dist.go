@@ -19,6 +19,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -132,6 +133,22 @@ func (c *Comm) Abort(rank int, cause error) {
 		obs.Emit("dist.abort", fmt.Sprintf("rank%d", rank), obs.PhaseFallback, rank,
 			obs.Attr{Key: "cause", Val: cause.Error()})
 		close(c.aborted)
+	})
+}
+
+// WatchContext aborts the communicator when ctx ends, so every rank
+// blocked in a collective unwinds promptly on caller cancellation — the
+// same escape hatch rank failures use, with rank -1 marking "no worker
+// at fault". The RankError wraps the cancellation cause, so
+// errors.Is(err, context.Canceled) holds on the error collectives
+// return. Callers must invoke the returned stop (as with
+// context.AfterFunc) once the collective phase is over.
+func (c *Comm) WatchContext(ctx context.Context) (stop func() bool) {
+	if ctx == nil {
+		return func() bool { return false }
+	}
+	return context.AfterFunc(ctx, func() {
+		c.Abort(-1, fmt.Errorf("dist: run cancelled: %w", context.Cause(ctx)))
 	})
 }
 

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -176,8 +177,10 @@ func (e *Engine) removeWorker(id int) bool {
 // worker and retry on the survivors (counted as a resilience retry);
 // any other error is final. The retry budget exhausting — or the last
 // worker dying — reports resilience.ErrExhausted with the root cause
-// attached.
-func (e *Engine) runWithReshard(kernel string, attemptFn func(workers []int, attempt int) error) error {
+// attached. A cancelled ctx is final immediately: nobody is waiting for
+// the result, and the unwound collective must not be booked as a rank
+// failure (the workers did nothing wrong).
+func (e *Engine) runWithReshard(ctx context.Context, kernel string, attemptFn func(workers []int, attempt int) error) error {
 	e.runMu.Lock()
 	defer e.runMu.Unlock()
 	for attempt := 0; ; attempt++ {
@@ -185,12 +188,18 @@ func (e *Engine) runWithReshard(kernel string, attemptFn func(workers []int, att
 		if len(workers) == 0 {
 			return fmt.Errorf("dist: %s: no live workers: %w", kernel, resilience.ErrExhausted)
 		}
+		if ctx != nil && ctx.Err() != nil {
+			return fmt.Errorf("dist: %s cancelled: %w", kernel, context.Cause(ctx))
+		}
 		e.mu.Lock()
 		e.stats.Attempts++
 		e.mu.Unlock()
 		err := attemptFn(workers, attempt)
 		if err == nil {
 			return nil
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return fmt.Errorf("dist: %s cancelled: %w", kernel, context.Cause(ctx))
 		}
 		var re *RankError
 		if !errors.As(err, &re) {
@@ -258,15 +267,16 @@ func (e *Engine) label(kernel string) resilience.Label {
 
 // Mttkrp runs the mode-n MTTKRP across the live workers: mode-wise
 // shards computed locally (COO or HiCOO), partials combined by ring
-// allreduce, worker failures re-sharded around.
-func (e *Engine) Mttkrp(mode int, mats []*tensor.Matrix, r int) (*MttkrpResult, error) {
+// allreduce, worker failures re-sharded around. Cancelling ctx aborts
+// the in-flight collective and returns the cancellation cause.
+func (e *Engine) Mttkrp(ctx context.Context, mode int, mats []*tensor.Matrix, r int) (*MttkrpResult, error) {
 	if mode < 0 || mode >= e.x.Order() {
 		return nil, fmt.Errorf("dist: mode %d out of range", mode)
 	}
 	var res *MttkrpResult
-	err := e.runWithReshard("Mttkrp", func(workers []int, attempt int) error {
+	err := e.runWithReshard(ctx, "Mttkrp", func(workers []int, attempt int) error {
 		var err error
-		res, err = e.mttkrpAttempt(workers, attempt, mode, mats, r)
+		res, err = e.mttkrpAttempt(ctx, workers, attempt, mode, mats, r)
 		return err
 	})
 	if err != nil {
@@ -275,7 +285,7 @@ func (e *Engine) Mttkrp(mode int, mats []*tensor.Matrix, r int) (*MttkrpResult, 
 	return res, nil
 }
 
-func (e *Engine) mttkrpAttempt(workers []int, attempt, mode int, mats []*tensor.Matrix, r int) (*MttkrpResult, error) {
+func (e *Engine) mttkrpAttempt(ctx context.Context, workers []int, attempt, mode int, mats []*tensor.Matrix, r int) (*MttkrpResult, error) {
 	p := len(workers)
 	shards, err := e.shardsFor(mode, p)
 	if err != nil {
@@ -285,6 +295,8 @@ func (e *Engine) mttkrpAttempt(workers []int, attempt, mode int, mats []*tensor.
 	if err != nil {
 		return nil, err
 	}
+	stop := c.WatchContext(ctx)
+	defer stop()
 	partials := make([]*tensor.Matrix, p)
 	errs := make([]error, p)
 	c.Run(func(rank int) {
@@ -360,8 +372,9 @@ func (e *Engine) localMttkrp(s *shard, mode int, mats []*tensor.Matrix, r int) (
 // contiguous fiber ranges computed locally, value segments gathered at
 // the root through the communicator, worker failures re-sharded around.
 // (Fiber outputs are disjoint regardless of format, so the local loop
-// always runs on the sorted COO fiber structure.)
-func (e *Engine) Ttv(mode int, v tensor.Vector) (*TtvResult, error) {
+// always runs on the sorted COO fiber structure.) Cancelling ctx aborts
+// the in-flight collective and returns the cancellation cause.
+func (e *Engine) Ttv(ctx context.Context, mode int, v tensor.Vector) (*TtvResult, error) {
 	if mode < 0 || mode >= e.x.Order() {
 		return nil, fmt.Errorf("dist: mode %d out of range", mode)
 	}
@@ -369,9 +382,9 @@ func (e *Engine) Ttv(mode int, v tensor.Vector) (*TtvResult, error) {
 		return nil, fmt.Errorf("dist: vector length %d, want %d", len(v), e.x.Dims[mode])
 	}
 	var res *TtvResult
-	err := e.runWithReshard("Ttv", func(workers []int, attempt int) error {
+	err := e.runWithReshard(ctx, "Ttv", func(workers []int, attempt int) error {
 		var err error
-		res, err = e.ttvAttempt(workers, attempt, mode, v)
+		res, err = e.ttvAttempt(ctx, workers, attempt, mode, v)
 		return err
 	})
 	if err != nil {
@@ -394,7 +407,7 @@ func (e *Engine) ttvPlanFor(mode int) (*core.TtvPlan, error) {
 	return plan, nil
 }
 
-func (e *Engine) ttvAttempt(workers []int, attempt, mode int, v tensor.Vector) (*TtvResult, error) {
+func (e *Engine) ttvAttempt(ctx context.Context, workers []int, attempt, mode int, v tensor.Vector) (*TtvResult, error) {
 	plan, err := e.ttvPlanFor(mode)
 	if err != nil {
 		return nil, err
@@ -404,6 +417,8 @@ func (e *Engine) ttvAttempt(workers []int, attempt, mode int, v tensor.Vector) (
 	if err != nil {
 		return nil, err
 	}
+	stop := c.WatchContext(ctx)
+	defer stop()
 	mf := plan.NumFibers()
 	fptr := plan.Fptr
 	kInd := plan.X.Inds[mode]
@@ -472,11 +487,11 @@ func (e *Engine) ttvAttempt(workers []int, attempt, mode int, v tensor.Vector) (
 // update); the dense linear algebra between MTTKRPs is replicated, as
 // in medium-scale distributed CP-ALS. Worker failures mid-sweep
 // re-shard and retry the failing MTTKRP, so the decomposition survives
-// node loss.
-func (e *Engine) CPALS(rank, maxIters int, tol float64, seed int64) (*algo.CPResult, error) {
+// node loss. Cancelling ctx stops the sweep at the next MTTKRP.
+func (e *Engine) CPALS(ctx context.Context, rank, maxIters int, tol float64, seed int64) (*algo.CPResult, error) {
 	return algo.CPALSWith(e.x, rank, maxIters, tol, seed,
 		func(mode int, factors []*tensor.Matrix) (*tensor.Matrix, error) {
-			res, err := e.Mttkrp(mode, factors, rank)
+			res, err := e.Mttkrp(ctx, mode, factors, rank)
 			if err != nil {
 				return nil, err
 			}

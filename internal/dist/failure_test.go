@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -204,7 +205,7 @@ func TestEnginePersistentFailureReshards(t *testing.T) {
 		}
 		var res *MttkrpResult
 		withDeadline(t, "engine Mttkrp with a persistently failing worker", func() {
-			res, err = e.Mttkrp(1, mats, r)
+			res, err = e.Mttkrp(context.Background(), 1, mats, r)
 		})
 		if err != nil {
 			t.Fatalf("%v: persistent failure should re-shard and complete, got %v", format, err)
@@ -237,7 +238,7 @@ func TestEnginePersistentFailureReshards(t *testing.T) {
 
 		// The same dead node must not disturb subsequent calls: it is
 		// already removed, so no further failures or retries occur.
-		if _, err := e.Mttkrp(0, mats, r); err != nil {
+		if _, err := e.Mttkrp(context.Background(), 0, mats, r); err != nil {
 			t.Fatalf("%v: post-reshard call failed: %v", format, err)
 		}
 		if st := e.Stats(); st.RankFailures != 1 {
@@ -266,7 +267,7 @@ func TestEngineExhaustsReshardBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	withDeadline(t, "engine Mttkrp with all workers failing", func() {
-		_, err = e.Mttkrp(0, mats, r)
+		_, err = e.Mttkrp(context.Background(), 0, mats, r)
 	})
 	if !errors.Is(err, resilience.ErrExhausted) {
 		t.Fatalf("want ErrExhausted, got %v", err)
@@ -301,7 +302,7 @@ func TestEnginePanicContainment(t *testing.T) {
 	}
 	var res *TtvResult
 	withDeadline(t, "engine Ttv with a panicking worker", func() {
-		res, err = e.Ttv(1, v)
+		res, err = e.Ttv(context.Background(), 1, v)
 	})
 	if err != nil {
 		t.Fatalf("panic should be contained and re-sharded around, got %v", err)
@@ -366,7 +367,7 @@ func TestEngineChaos(t *testing.T) {
 			for mode := 0; mode < 3; mode++ {
 				var res *MttkrpResult
 				withDeadline(t, "chaos engine Mttkrp", func() {
-					res, err = e.Mttkrp(mode, mats, r)
+					res, err = e.Mttkrp(context.Background(), mode, mats, r)
 				})
 				if err != nil {
 					if !errors.Is(err, resilience.ErrExhausted) {

@@ -40,7 +40,7 @@ func TestEngineMttkrpMatchesRegistryReference(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				res, err := e.Mttkrp(mode, mats, r)
+				res, err := e.Mttkrp(context.Background(), mode, mats, r)
 				if err != nil {
 					t.Fatalf("p=%d %v mode=%d: %v", p, format, mode, err)
 				}
@@ -75,7 +75,7 @@ func TestEngineTtvMatchesRegistryReference(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := e.Ttv(mode, v)
+			res, err := e.Ttv(context.Background(), mode, v)
 			if err != nil {
 				t.Fatalf("p=%d mode=%d: %v", p, mode, err)
 			}
@@ -110,7 +110,7 @@ func TestEngineCPALSMatchesSerial(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := e.CPALS(rank, iters, tol, seed)
+			got, err := e.CPALS(context.Background(), rank, iters, tol, seed)
 			if err != nil {
 				t.Fatalf("p=%d %v: %v", p, format, err)
 			}
@@ -166,7 +166,7 @@ func TestEngineCPALSSurvivesWorkerLoss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := e.CPALS(rank, iters, 0, seed)
+	got, err := e.CPALS(context.Background(), rank, iters, 0, seed)
 	if err != nil {
 		t.Fatalf("CP-ALS should survive worker loss via re-shard, got %v", err)
 	}

@@ -1,0 +1,70 @@
+package kernelreg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/roofline"
+	"repro/internal/tensor"
+)
+
+func TestMemBytesGrowsWithOperands(t *testing.T) {
+	x := tensor.RandomCOO([]tensor.Index{40, 40, 40}, 2000, rand.New(rand.NewSource(7)))
+	wb := NewWorkbench(x, Config{})
+	base := wb.MemBytes()
+	if base < x.StorageBytes() {
+		t.Fatalf("MemBytes() = %d, below the input tensor's %d", base, x.StorageBytes())
+	}
+	wb.Mats() // force the factor matrices
+	withMats := wb.MemBytes()
+	if withMats <= base {
+		t.Fatalf("MemBytes() after Mats() = %d, want > %d", withMats, base)
+	}
+	wb.HX() // force the HiCOO conversion
+	withHX := wb.MemBytes()
+	if withHX <= withMats {
+		t.Fatalf("MemBytes() after HX() = %d, want > %d", withHX, withMats)
+	}
+	wantDelta := wb.HX().StorageBytes()
+	if got := withHX - withMats; got != wantDelta {
+		t.Fatalf("HX delta = %d, want the conversion's StorageBytes %d", got, wantDelta)
+	}
+}
+
+func TestEstimateFootprintShape(t *testing.T) {
+	dims := []int64{100, 200, 300}
+	for _, k := range roofline.Kernels {
+		for _, f := range roofline.Formats {
+			small := EstimateFootprint(k, f, dims, 10_000, Config{})
+			big := EstimateFootprint(k, f, dims, 1_000_000, Config{})
+			if small.Workbench <= 0 || small.Instance <= 0 || small.Run <= 0 {
+				t.Fatalf("%s/%s: non-positive component in %+v", k, f, small)
+			}
+			if big.Total() <= small.Total() {
+				t.Fatalf("%s/%s: footprint not monotone in nnz (%d vs %d)",
+					k, f, big.Total(), small.Total())
+			}
+			// The Run component is a working-set estimate, not raw
+			// traffic: it must stay within the resident set plus scratch.
+			if small.Run > small.Workbench+small.Instance+1<<20 {
+				t.Fatalf("%s/%s: Run %d exceeds resident set %d",
+					k, f, small.Run, small.Workbench+small.Instance)
+			}
+		}
+	}
+}
+
+// The estimate must land within an order of magnitude of the measured
+// workbench for the operands it models — close enough to admit by.
+func TestEstimateTracksMeasuredWorkbench(t *testing.T) {
+	x := tensor.RandomCOO([]tensor.Index{50, 60, 70}, 5000, rand.New(rand.NewSource(3)))
+	wb := NewWorkbench(x, Config{})
+	wb.Mats()
+	measured := wb.MemBytes()
+	dims := []int64{50, 60, 70}
+	est := EstimateFootprint(roofline.Mttkrp, roofline.COO, dims, int64(x.NNZ()), Config{})
+	if est.Workbench < measured/10 || est.Workbench > measured*10 {
+		t.Fatalf("estimated workbench %d vs measured %d: off by more than 10x",
+			est.Workbench, measured)
+	}
+}

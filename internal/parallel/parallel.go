@@ -224,9 +224,24 @@ func (c *loopCtl) finish(ctx context.Context) error {
 		panic(wp)
 	}
 	if ctx != nil && ctx.Err() != nil {
-		return ErrDeadline
+		return deadlineErr(ctx)
 	}
 	return nil
+}
+
+// deadlineErr reports a loop stopped by its context. ErrDeadline stays
+// the errors.Is identity every caller matches on; the context's cause
+// is attached so upper layers can tell an explicit cancellation (client
+// disconnect, drain) from an expired deadline.
+func deadlineErr(ctx context.Context) error {
+	if ctx == nil {
+		return ErrDeadline
+	}
+	cause := context.Cause(ctx)
+	if cause == nil {
+		return ErrDeadline
+	}
+	return fmt.Errorf("%w (%w)", ErrDeadline, cause)
 }
 
 // For executes body over the half-open range [0, n) using the configured
@@ -402,7 +417,7 @@ func forSerial(n int, opt Options, ctl *loopCtl, body func(lo, hi, worker int)) 
 	}
 	for lo := 0; lo < n; lo += chunk {
 		if !ctl.enter(0) {
-			return ErrDeadline
+			return deadlineErr(opt.Ctx)
 		}
 		hi := lo + chunk
 		if hi > n {

@@ -35,6 +35,10 @@ const (
 	OutcomeTimeout
 	// OutcomeFailed: every rung failed (or the output failed validation).
 	OutcomeFailed
+	// OutcomeCancelled: the trial's context was cancelled outright (the
+	// caller disconnected or the daemon is draining) — appended after
+	// OutcomeFailed so existing outcome numbering is unchanged.
+	OutcomeCancelled
 )
 
 func (o Outcome) String() string {
@@ -47,6 +51,8 @@ func (o Outcome) String() string {
 		return "fell-back"
 	case OutcomeTimeout:
 		return "timeout"
+	case OutcomeCancelled:
+		return "cancelled"
 	default:
 		return "failed"
 	}
@@ -264,7 +270,7 @@ func (r *Runner) Do(ctx context.Context, t Trial) Report {
 				backoff *= 2
 			}
 			if ctx.Err() != nil {
-				return r.timeoutReport(rep, label)
+				return r.ctxReport(rep, label, ctx)
 			}
 			if attempt > 0 {
 				ctrRetries.Inc()
@@ -277,16 +283,28 @@ func (r *Runner) Do(ctx context.Context, t Trial) Report {
 				return r.accept(rep, t, i, rung.Backend, attempt)
 			}
 			lastErr = err
-			r.record(rung.Backend, false)
-			if errors.Is(err, ErrDeadline) {
-				// A deadline is a trial-level budget, not a rung-level
-				// one: retrying or falling back would start more work
-				// with no time left. Drain the straggler briefly so it
-				// stops touching shared buffers, then report.
+			cancelled := IsCancelled(err)
+			if !cancelled {
+				// A cancellation says nothing about the backend's
+				// health, so it must not feed the circuit breaker — an
+				// impatient client walking away three times would trip
+				// a perfectly good backend.
+				r.record(rung.Backend, false)
+			}
+			if cancelled || errors.Is(err, ErrDeadline) {
+				// A deadline (or cancellation) is a trial-level budget,
+				// not a rung-level one: retrying or falling back would
+				// start more work nobody is waiting for. Drain the
+				// straggler briefly so it stops touching shared
+				// buffers, then report.
 				r.drain(settled)
-				ctrTimeouts.Inc()
-				rep.Outcome = OutcomeTimeout
 				rep.Err = err
+				if cancelled {
+					rep.Outcome = OutcomeCancelled
+				} else {
+					ctrTimeouts.Inc()
+					rep.Outcome = OutcomeTimeout
+				}
 				return rep
 			}
 			// Transient fault (panic, launch failure): retry this rung.
@@ -331,13 +349,17 @@ func (r *Runner) accept(rep Report, t Trial, rungIdx int, backend string, attemp
 	return rep
 }
 
-// timeoutReport closes out a trial whose deadline expired between
-// attempts.
-func (r *Runner) timeoutReport(rep Report, label Label) Report {
+// ctxReport closes out a trial whose context expired between attempts,
+// classifying a deadline (timeout) apart from an outright cancel.
+func (r *Runner) ctxReport(rep Report, label Label, ctx context.Context) Report {
 	r.drain(rep.Settled)
+	rep.Err = &KernelError{Label: label, Err: ctxTrialErr(ctx)}
+	if errors.Is(ctx.Err(), context.Canceled) {
+		rep.Outcome = OutcomeCancelled
+		return rep
+	}
 	ctrTimeouts.Inc()
 	rep.Outcome = OutcomeTimeout
-	rep.Err = &KernelError{Label: label, Err: fmt.Errorf("trial deadline: %w", ErrDeadline)}
 	return rep
 }
 

@@ -54,7 +54,19 @@ var (
 	// ErrUnsupported marks a (kernel, format, backend) combination with no
 	// registered implementation — a lookup failure, not a runtime fault.
 	ErrUnsupported = errors.New("resilience: kernel variant not registered")
+	// ErrCancelled marks a trial abandoned because its context was
+	// cancelled outright (client disconnect, drain) rather than timing
+	// out — the backend did nothing wrong, the caller walked away.
+	ErrCancelled = errors.New("resilience: trial cancelled")
 )
+
+// IsCancelled reports whether err records an outright cancellation (as
+// opposed to a deadline): ErrCancelled from Exec's race, or a
+// context.Canceled cause threaded through a cooperative kernel's
+// parallel.ErrDeadline.
+func IsCancelled(err error) bool {
+	return errors.Is(err, ErrCancelled) || errors.Is(err, context.Canceled)
+}
 
 // Label identifies the trial a failure belongs to in reports and error
 // strings. Zero fields are simply omitted from the rendering.
@@ -155,8 +167,18 @@ func Exec(ctx context.Context, label Label, fn func(context.Context) error) (err
 	case err := <-res:
 		return err, settled
 	case <-ctx.Done():
-		return &KernelError{Label: label, Err: fmt.Errorf("trial deadline: %w", ErrDeadline)}, settled
+		return &KernelError{Label: label, Err: ctxTrialErr(ctx)}, settled
 	}
+}
+
+// ctxTrialErr classifies an expired trial context: a deadline keeps the
+// historical ErrDeadline identity; an outright cancel reports
+// ErrCancelled with the cancellation cause attached.
+func ctxTrialErr(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.Canceled) {
+		return fmt.Errorf("trial cancelled: %w (%w)", ErrCancelled, context.Cause(ctx))
+	}
+	return fmt.Errorf("trial deadline: %w", ErrDeadline)
 }
 
 // CheckFinite scans vals and returns ErrNonFinite (wrapped with the

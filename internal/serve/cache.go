@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"hash/fnv"
 	"sync"
 
@@ -71,14 +72,27 @@ func (c *cache) shard(key string) *cacheShard {
 // that one build. hit reports whether the value (or the in-flight
 // build joined) already existed. A failed build is removed so a later
 // request retries instead of caching the error forever.
-func (c *cache) getOrCreate(key string, build func() (any, error)) (val any, hit bool, err error) {
+//
+// A waiter whose ctx ends before the build finishes returns the ctx
+// error without touching the hit counter (it consumed nothing); the
+// build itself keeps running — the leader, and any patient waiters,
+// still get the value, so an impatient client cannot poison the cache.
+func (c *cache) getOrCreate(ctx context.Context, key string, build func() (any, error)) (val any, hit bool, err error) {
 	sh := c.shard(key)
 	sh.mu.Lock()
 	if el, ok := sh.m[key]; ok {
 		sh.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
 		sh.mu.Unlock()
-		<-e.ready
+		if ctx != nil {
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, false, context.Cause(ctx)
+			}
+		} else {
+			<-e.ready
+		}
 		if e.err != nil {
 			return nil, false, e.err
 		}
@@ -111,6 +125,34 @@ func (c *cache) getOrCreate(key string, build func() (any, error)) (val any, hit
 	}
 	close(e.ready)
 	return e.val, false, e.err
+}
+
+// peek reports whether key holds a completed, successful entry, without
+// counters or LRU movement — the admission cost model asks "is this
+// already resident?" and a peek must not perturb the hit/miss
+// accounting (the cache-conservation invariant counts only getOrCreate
+// traffic). An in-flight build reads as absent: until it completes its
+// memory is still being allocated, so charging the full cost is the
+// conservative answer.
+func (c *cache) peek(key string) (any, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	el, ok := sh.m[key]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	sh.mu.Unlock()
+	select {
+	case <-e.ready:
+		if e.err != nil {
+			return nil, false
+		}
+		return e.val, true
+	default:
+		return nil, false
+	}
 }
 
 // len reports the live entry count across shards (a /metrics gauge).

@@ -32,7 +32,7 @@ type distEntry struct {
 // re-sharded around by the engine. The response carries the usual trial
 // fields plus a DistInfo section with measured and alpha-beta-modeled
 // communication.
-func (s *Server) runDist(req RunRequest, k roofline.Kernel, f roofline.Format) (*RunResponse, error) {
+func (s *Server) runDist(ctx context.Context, req RunRequest, k roofline.Kernel, f roofline.Format) (*RunResponse, error) {
 	if req.Ranks > maxDistRanks {
 		return nil, &badRequestError{http.StatusBadRequest, ErrorBody{
 			Type: "bad-request", Message: fmt.Sprintf("ranks %d exceeds the maximum %d", req.Ranks, maxDistRanks)}}
@@ -57,7 +57,7 @@ func (s *Server) runDist(req RunRequest, k roofline.Kernel, f roofline.Format) (
 			Kernel:  k.String(), Format: f.String(),
 		}}
 	}
-	wbe, wbHit, err := s.workbench(req.Dataset)
+	wbe, wbHit, err := s.workbench(ctx, req.Dataset)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +67,7 @@ func (s *Server) runDist(req RunRequest, k roofline.Kernel, f roofline.Format) (
 			Message: fmt.Sprintf("mode %d out of range for order-%d tensor %s", req.Mode, wbe.wb.X.Order(), wbe.name),
 		}}
 	}
-	de, engHit, err := s.distEngine(wbe, format, req.Ranks)
+	de, engHit, err := s.distEngine(ctx, wbe, format, req.Ranks)
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +84,7 @@ func (s *Server) runDist(req RunRequest, k roofline.Kernel, f roofline.Format) (
 	switch k {
 	case roofline.Mttkrp:
 		r := wbe.wb.R()
-		res, kerr := de.eng.Mttkrp(req.Mode, wbe.wb.Mats(), r)
+		res, kerr := de.eng.Mttkrp(ctx, req.Mode, wbe.wb.Mats(), r)
 		if kerr == nil {
 			out = res.Out
 			commBytes, commMsgs, modeled = res.CommBytes, res.CommMessages, res.ModeledCommSec
@@ -92,7 +92,7 @@ func (s *Server) runDist(req RunRequest, k roofline.Kernel, f roofline.Format) (
 		}
 		err = kerr
 	case roofline.Ttv:
-		res, kerr := de.eng.Ttv(req.Mode, wbe.wb.Vec(req.Mode))
+		res, kerr := de.eng.Ttv(ctx, req.Mode, wbe.wb.Vec(req.Mode))
 		if kerr == nil {
 			out = res.Out
 			commBytes, commMsgs, modeled = res.CommBytes, res.CommMessages, res.ModeledCommSec
@@ -137,7 +137,7 @@ func (s *Server) runDist(req RunRequest, k roofline.Kernel, f roofline.Format) (
 		resp.GFLOPS = float64(flops) / elapsed / 1e9
 	}
 	if req.Verify {
-		ref, err := wbe.wb.Reference(context.Background(), k, req.Mode)
+		ref, err := wbe.wb.Reference(ctx, k, req.Mode)
 		if err != nil {
 			return nil, err
 		}
@@ -149,9 +149,8 @@ func (s *Server) runDist(req RunRequest, k roofline.Kernel, f roofline.Format) (
 
 // distEngine returns the cached engine for (dataset, format, ranks),
 // building it on first use.
-func (s *Server) distEngine(wbe *wbEntry, format dist.Format, ranks int) (*distEntry, bool, error) {
-	key := fmt.Sprintf("dist:%s/%s/p%d", wbe.name, format, ranks)
-	val, hit, err := s.cache.getOrCreate(key, func() (any, error) {
+func (s *Server) distEngine(ctx context.Context, wbe *wbEntry, format dist.Format, ranks int) (*distEntry, bool, error) {
+	val, hit, err := s.cache.getOrCreate(ctx, distKey(wbe.name, format, ranks), func() (any, error) {
 		eng, err := dist.NewEngine(wbe.wb.X, dist.Options{
 			Ranks:     ranks,
 			Format:    format,

@@ -35,11 +35,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"daemon_uptime_seconds", time.Since(s.start).Seconds()},
 		{"daemon_inflight", float64(len(s.inflight))},
 		{"daemon_cache_entries", float64(s.cache.len())},
+		{"govern_budget_bytes", float64(s.gov.Budget())},
+		{"daemon_draining", boolGauge(s.gov.Draining())},
 	}
 	for _, g := range gauges {
 		m := "pasta_" + g.name
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", m, m, g.val)
 	}
+}
+
+// boolGauge renders a boolean as the conventional 0/1 gauge value.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // metricName maps a dotted obs counter name onto the Prometheus

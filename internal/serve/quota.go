@@ -88,6 +88,27 @@ func (q *quotas) admit(client string) (ok bool, retryAfter time.Duration) {
 	return true, 0
 }
 
+// refund returns one admitted request to the client's quota — called
+// when a trial is cancelled because the client disconnected: the work
+// was abandoned, so it must not count against the window. The refund
+// decrements the same obs counter admit charged. If the window rolled
+// over between charge and refund the decrement lands below the new
+// base, granting the client one extra request in the new window — a
+// bounded, self-correcting error on the generous side, which beats
+// double-charging a request that produced nothing.
+func (q *quotas) refund(client string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := q.m[client]
+	if st == nil {
+		// The client was over the tracking cap and charged to the shared
+		// overflow counter; refund the same cell.
+		ctrClientOverflow.Add(-1)
+		return
+	}
+	st.ctr.Add(-1)
+}
+
 // clientID identifies the caller for quota accounting: the
 // X-Pasta-Client header when present (trusted-network deployments name
 // themselves), otherwise the connection's source address.

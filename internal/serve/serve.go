@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/govern"
 	"repro/internal/kernelreg"
 	"repro/internal/obs"
 	"repro/internal/resilience"
@@ -50,7 +51,19 @@ var (
 	ctrBatchRuns   = obs.GetCounter("daemon.batch.runs")
 	ctrBatchJoined = obs.GetCounter("daemon.batch.joined")
 	ctrLatencyUsec = obs.GetCounter("daemon.request_usec")
+	// ctrCancelled counts requests abandoned by their client (disconnect
+	// or per-request deadline) whose work was stopped and quota refunded.
+	ctrCancelled = obs.GetCounter("govern.cancelled")
 )
+
+// statusClientClosedRequest is the nginx-convention status for a
+// request whose client hung up before the response was ready.
+const statusClientClosedRequest = 499
+
+// deadlineHeader is the per-request deadline a client may set (a Go
+// duration string, e.g. "250ms"); the trial is cancelled when it
+// expires, independent of the daemon-wide Config.Timeout.
+const deadlineHeader = "X-Pasta-Deadline"
 
 // Config carries the daemon's tunables; zero values select the
 // documented defaults.
@@ -81,6 +94,17 @@ type Config struct {
 	// Runner executes trials; tests inject one to observe breakers.
 	// Defaults to a fresh resilience.Runner.
 	Runner *resilience.Runner
+	// MemBudget is the daemon-wide working-set budget requests are
+	// admitted against (bytes; 0 → govern.DefaultBudget, half of the
+	// memory limit or system RAM).
+	MemBudget int64
+	// AdmitWait is how long an over-capacity request may wait at the
+	// admission gate before it is shed 503 (default 100ms).
+	AdmitWait time.Duration
+	// DrainGrace bounds a graceful drain: how long BeginDrain waits for
+	// in-flight leases before giving up (default 10s); also the
+	// Retry-After hint rejected joiners get while draining.
+	DrainGrace time.Duration
 }
 
 // Server is the daemon state shared by all requests.
@@ -89,6 +113,7 @@ type Server struct {
 	cache    *cache
 	quotas   *quotas
 	runner   *resilience.Runner
+	gov      *govern.Governor
 	inflight chan struct{}
 	start    time.Time
 	mux      *http.ServeMux
@@ -115,10 +140,15 @@ func New(cfg Config) *Server {
 		cfg.Timeout = 30 * time.Second
 	}
 	s := &Server{
-		cfg:      cfg,
-		cache:    newCache(cfg.CacheShards, cfg.ShardCap),
-		quotas:   newQuotas(cfg.QuotaLimit, cfg.QuotaWindow),
-		runner:   cfg.Runner,
+		cfg:    cfg,
+		cache:  newCache(cfg.CacheShards, cfg.ShardCap),
+		quotas: newQuotas(cfg.QuotaLimit, cfg.QuotaWindow),
+		runner: cfg.Runner,
+		gov: govern.New(govern.Config{
+			BudgetBytes: cfg.MemBudget,
+			AdmitWait:   cfg.AdmitWait,
+			DrainGrace:  cfg.DrainGrace,
+		}),
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		start:    time.Now(),
 		mux:      http.NewServeMux(),
@@ -242,11 +272,16 @@ type errorResponse struct {
 // ErrExhausted so an exhausted ladder reports its root cause.
 func statusOf(err error) (int, string) {
 	switch {
+	// Cancellation first: a cancelled cooperative kernel surfaces as
+	// ErrDeadline wrapping a Canceled cause, and the client-walked-away
+	// classification must win over the deadline one.
+	case resilience.IsCancelled(err):
+		return statusClientClosedRequest, "cancelled"
 	case errors.Is(err, resilience.ErrUnsupported):
 		return http.StatusNotFound, "unsupported"
 	case errors.Is(err, resilience.ErrBreakerOpen):
 		return http.StatusServiceUnavailable, "breaker-open"
-	case errors.Is(err, resilience.ErrDeadline):
+	case errors.Is(err, resilience.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "deadline"
 	case errors.Is(err, resilience.ErrNonFinite):
 		return http.StatusUnprocessableEntity, "non-finite"
@@ -287,8 +322,12 @@ func writeExecError(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.gov.Draining() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
+		"status":    status,
 		"uptimeSec": time.Since(s.start).Seconds(),
 		"variants":  len(kernelreg.All()),
 		"cached":    s.cache.len(),
@@ -332,7 +371,40 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { ctrLatencyUsec.Add(time.Since(start).Microseconds()) }()
 
-	if ok, retry := s.quotas.admit(clientID(r)); !ok {
+	// Decode before any admission decision: the cost model needs the
+	// parsed request, and a malformed body should cost nothing.
+	var req RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, ErrorBody{Type: "bad-request", Message: err.Error()})
+		return
+	}
+
+	// The request context carries the client's disconnect; an optional
+	// per-request deadline header tightens it further.
+	ctx := r.Context()
+	if h := strings.TrimSpace(r.Header.Get(deadlineHeader)); h != "" {
+		d, err := time.ParseDuration(h)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, ErrorBody{
+				Type: "bad-request", Message: fmt.Sprintf("invalid %s %q: want a positive Go duration", deadlineHeader, h)})
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	if s.gov.Draining() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.gov.DrainGrace()))
+		writeError(w, http.StatusServiceUnavailable, ErrorBody{
+			Type: "draining", Message: "daemon is draining; not admitting new work"})
+		return
+	}
+
+	client := clientID(r)
+	if ok, retry := s.quotas.admit(client); !ok {
 		// Retry-After tracks the client's actual window remainder: the
 		// quota recovers when the window rolls over, not in a fixed
 		// second (a lifetime budget never recovers; 1s is the floor the
@@ -342,6 +414,45 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			Type: "quota", Message: "client quota exhausted"})
 		return
 	}
+
+	cost, err := s.requestCost(req)
+	if err != nil {
+		var br *badRequestError
+		if errors.As(err, &br) {
+			writeError(w, br.status, br.body)
+			return
+		}
+		writeExecError(w, err)
+		return
+	}
+	lease, err := s.gov.Admit(ctx, cost)
+	if err != nil {
+		switch {
+		case errors.Is(err, govern.ErrDraining):
+			w.Header().Set("Retry-After", retryAfterSeconds(s.gov.DrainGrace()))
+			writeError(w, http.StatusServiceUnavailable, ErrorBody{
+				Type: "draining", Message: "daemon is draining; not admitting new work"})
+		case errors.Is(err, govern.ErrOverBudget):
+			// No Retry-After: a request larger than the whole budget can
+			// never be admitted, so there is no useful time to suggest.
+			writeError(w, http.StatusRequestEntityTooLarge, ErrorBody{
+				Type: "over-budget",
+				Message: fmt.Sprintf("request working set ~%d bytes exceeds the daemon budget %d",
+					cost, s.gov.Budget())})
+		case errors.Is(err, govern.ErrOverloaded):
+			w.Header().Set("Retry-After", retryAfterSeconds(s.overloadRetryAfter()))
+			writeError(w, http.StatusServiceUnavailable, ErrorBody{
+				Type: "shed",
+				Message: fmt.Sprintf("daemon memory budget exhausted (~%d bytes in flight); request shed",
+					s.gov.BytesInflight())})
+		default:
+			// The client's own context ended while waiting at the gate.
+			s.finishCancelled(w, client)
+		}
+		return
+	}
+	defer lease.Release()
+
 	select {
 	case s.inflight <- struct{}{}:
 		defer func() { <-s.inflight }()
@@ -356,15 +467,23 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var req RunRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, ErrorBody{Type: "bad-request", Message: err.Error()})
-		return
-	}
-	resp, err := s.Run(req)
+	resp, err := s.Run(ctx, req)
 	if err != nil {
+		// A disconnect observed anywhere down the stack lands here; the
+		// 499 is written for the log's benefit (the client is gone) and
+		// the quota charge is refunded — abandoned work must not count.
+		if r.Context().Err() != nil || resilience.IsCancelled(err) {
+			s.finishCancelled(w, client)
+			return
+		}
+		if errors.Is(err, govern.ErrDraining) {
+			// A joiner detached from a shared flight because the daemon
+			// started draining mid-wait.
+			w.Header().Set("Retry-After", retryAfterSeconds(s.gov.DrainGrace()))
+			writeError(w, http.StatusServiceUnavailable, ErrorBody{
+				Type: "draining", Message: "daemon is draining; not admitting new work"})
+			return
+		}
 		var br *badRequestError
 		if errors.As(err, &br) {
 			writeError(w, br.status, br.body)
@@ -374,6 +493,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// finishCancelled closes out a request whose client walked away: the
+// cancellation is counted and traced, the quota charge refunded, and a
+// 499 (nginx's client-closed-request) written for whoever is still
+// listening.
+func (s *Server) finishCancelled(w http.ResponseWriter, client string) {
+	ctrCancelled.Inc()
+	s.quotas.refund(client)
+	obs.Emit("govern.cancelled", client, obs.PhaseTrial, -1)
+	writeError(w, statusClientClosedRequest, ErrorBody{
+		Type: "cancelled", Message: "request cancelled by client"})
 }
 
 // retryAfterSeconds renders a duration as a Retry-After header value:
@@ -413,8 +544,13 @@ type badRequestError struct {
 func (e *badRequestError) Error() string { return e.body.Message }
 
 // Run resolves, caches, batches, and executes one request. It is the
-// transport-independent core of POST /run.
-func (s *Server) Run(req RunRequest) (*RunResponse, error) {
+// transport-independent core of POST /run. ctx carries the caller's
+// cancellation (client disconnect, per-request deadline) all the way
+// into the trial; nil means no cancellation.
+func (s *Server) Run(ctx context.Context, req RunRequest) (*RunResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	k, f, b, err := parseVariant(req)
 	if err != nil {
 		return nil, err
@@ -424,7 +560,7 @@ func (s *Server) Run(req RunRequest) (*RunResponse, error) {
 			Type: "bad-request", Message: fmt.Sprintf("ranks must be >= 0, got %d", req.Ranks)}}
 	}
 	if req.Ranks > 0 {
-		return s.runDist(req, k, f)
+		return s.runDist(ctx, req, k, f)
 	}
 	var v *kernelreg.Variant
 	if strings.TrimSpace(req.Backend) == "" {
@@ -435,7 +571,7 @@ func (s *Server) Run(req RunRequest) (*RunResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	wbe, wbHit, err := s.workbench(req.Dataset)
+	wbe, wbHit, err := s.workbench(ctx, req.Dataset)
 	if err != nil {
 		return nil, err
 	}
@@ -448,11 +584,11 @@ func (s *Server) Run(req RunRequest) (*RunResponse, error) {
 			Message: fmt.Sprintf("mode %d out of range for order-%d tensor %s", mode, wbe.wb.X.Order(), wbe.name),
 		}}
 	}
-	ie, instHit, err := s.instance(wbe, v, mode)
+	ie, instHit, err := s.instance(ctx, wbe, v, mode)
 	if err != nil {
 		return nil, err
 	}
-	resp, batched, err := s.execute(ie, runOpts{verify: req.Verify, fallback: req.Fallback == nil || *req.Fallback})
+	resp, batched, err := s.execute(ctx, ie, runOpts{verify: req.Verify, fallback: req.Fallback == nil || *req.Fallback})
 	if err != nil {
 		return nil, err
 	}
@@ -517,13 +653,13 @@ type wbEntry struct {
 // workbench returns the cached Workbench for a dataset, materializing
 // the tensor on first use (singleflight: a thundering herd generates
 // it once).
-func (s *Server) workbench(ds string) (*wbEntry, bool, error) {
+func (s *Server) workbench(ctx context.Context, ds string) (*wbEntry, bool, error) {
 	e, err := dataset.ByID(strings.TrimSpace(ds))
 	if err != nil {
 		return nil, false, &badRequestError{http.StatusNotFound, ErrorBody{
 			Type: "not-found", Message: err.Error()}}
 	}
-	val, hit, err := s.cache.getOrCreate("wb:"+e.Name, func() (any, error) {
+	val, hit, err := s.cache.getOrCreate(ctx, wbKey(e.Name), func() (any, error) {
 		sp := obs.Begin("daemon.materialize", e.Name, obs.PhasePrepare, -1)
 		defer sp.End()
 		x, err := dataset.Materialize(e, s.cfg.NNZ, s.cfg.Seed)
@@ -556,9 +692,8 @@ type instEntry struct {
 
 // instance returns the cached prepared Instance for (dataset, variant,
 // mode), preparing it on first use.
-func (s *Server) instance(wbe *wbEntry, v *kernelreg.Variant, mode int) (*instEntry, bool, error) {
-	key := fmt.Sprintf("inst:%s/%s/m%d", wbe.name, v, mode)
-	val, hit, err := s.cache.getOrCreate(key, func() (any, error) {
+func (s *Server) instance(ctx context.Context, wbe *wbEntry, v *kernelreg.Variant, mode int) (*instEntry, bool, error) {
+	val, hit, err := s.cache.getOrCreate(ctx, instKey(wbe.name, v, mode), func() (any, error) {
 		inst, err := v.Prepare(wbe.wb, mode)
 		if err != nil {
 			return nil, err
@@ -578,52 +713,133 @@ type runOpts struct {
 	fallback bool
 }
 
-// flight is one in-progress execution identical requests wait on.
+// errAbandoned is the cancel cause a flight's trial context carries
+// when every request waiting on it has disconnected: nobody is left to
+// read the result, so the work stops.
+var errAbandoned = errors.New("serve: every waiter for this trial disconnected")
+
+// flight is one in-progress execution identical requests wait on. The
+// trial runs under the flight's own detached context, reference-counted
+// by the requests waiting on it: each joiner registers a leave on its
+// request context, and the last waiter to walk away cancels the trial —
+// work nobody is waiting for stops within a chunk boundary instead of
+// running to completion.
 type flight struct {
 	done chan struct{}
 	resp *RunResponse
 	err  error
+
+	// ctx is the trial's context: detached from any single request (a
+	// batched trial must survive one waiter's disconnect) and cancelled
+	// with errAbandoned when waiters reaches zero.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	mu      sync.Mutex
+	waiters int
+}
+
+func (f *flight) join() {
+	f.mu.Lock()
+	f.waiters++
+	f.mu.Unlock()
+}
+
+func (f *flight) leave() {
+	f.mu.Lock()
+	f.waiters--
+	last := f.waiters == 0
+	f.mu.Unlock()
+	if last {
+		f.cancel(errAbandoned)
+	}
 }
 
 // execute runs the instance, coalescing identical concurrent requests
 // onto one trial: the first request becomes the leader and runs; the
 // rest wait on its flight and share the result (and its measured
 // time — the semantics of a benchmark batch, one execution observed by
-// all).
-func (s *Server) execute(ie *instEntry, opts runOpts) (*RunResponse, bool, error) {
+// all). Every participant detaches when its own ctx ends (or the
+// daemon starts draining), and the last one out cancels the trial.
+func (s *Server) execute(ctx context.Context, ie *instEntry, opts runOpts) (*RunResponse, bool, error) {
 	ie.fmu.Lock()
 	if f := ie.flights[opts]; f != nil {
+		// join under fmu: the waiter count must be visible before the
+		// leader can observe an abandoned flight.
+		f.join()
 		ie.fmu.Unlock()
-		<-f.done
-		ctrBatchJoined.Inc()
-		if f.err != nil {
-			return nil, true, f.err
+		stop := context.AfterFunc(ctx, f.leave)
+		detach := func() {
+			if stop() {
+				f.leave()
+			}
 		}
-		// Copy so the caller's response mutations (cache-hit flags)
-		// don't race other waiters'.
-		resp := *f.resp
-		return &resp, true, nil
+		select {
+		case <-f.done:
+			detach()
+			ctrBatchJoined.Inc()
+			if f.err != nil {
+				return nil, true, f.err
+			}
+			// Copy so the caller's response mutations (cache-hit flags)
+			// don't race other waiters'.
+			resp := *f.resp
+			return &resp, true, nil
+		case <-s.gov.DrainChan():
+			// Drain: joiners detach immediately (the leader finishes its
+			// trial under the drain grace; waiters would only extend it).
+			detach()
+			return nil, true, fmt.Errorf("serve: joiner detached: %w", govern.ErrDraining)
+		case <-ctx.Done():
+			detach()
+			return nil, true, ctxRequestErr(ctx)
+		}
 	}
 	f := &flight{done: make(chan struct{})}
+	f.ctx, f.cancel = context.WithCancelCause(context.Background())
+	f.join()
 	ie.flights[opts] = f
 	ie.fmu.Unlock()
+	stop := context.AfterFunc(ctx, f.leave)
 
 	ctrBatchRuns.Inc()
-	f.resp, f.err = s.runTrial(ie, opts)
+	f.resp, f.err = s.runTrial(f.ctx, ie, opts)
 	ie.fmu.Lock()
 	delete(ie.flights, opts)
 	ie.fmu.Unlock()
 	close(f.done)
+	if stop() {
+		f.leave()
+	}
+	f.cancel(nil) // release the AfterFunc resources; no-op if already cancelled
 	if f.err != nil {
+		// A trial cancelled because this waiter's own context ended is
+		// re-classified through that context: a per-request deadline
+		// renders 504, only a true disconnect renders 499 (the flight's
+		// cancel cause cannot tell the two apart).
+		if resilience.IsCancelled(f.err) && ctx.Err() != nil {
+			return nil, false, ctxRequestErr(ctx)
+		}
 		return nil, false, f.err
 	}
 	resp := *f.resp
 	return &resp, false, nil
 }
 
+// ctxRequestErr classifies a request context that ended while its
+// owner waited on a shared flight, mapping onto the resilience taxonomy
+// so statusOf renders 499 for a disconnect and 504 for a deadline.
+func ctxRequestErr(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.Canceled) {
+		return fmt.Errorf("serve: request cancelled: %w (%w)", resilience.ErrCancelled, context.Cause(ctx))
+	}
+	return fmt.Errorf("serve: request deadline: %w", resilience.ErrDeadline)
+}
+
 // runTrial executes one guarded trial of the prepared instance down
-// the degradation ladder and assembles the response.
-func (s *Server) runTrial(ie *instEntry, opts runOpts) (*RunResponse, error) {
+// the degradation ladder and assembles the response. ctx is the
+// flight's trial context: cancelled when every waiter disconnects.
+func (s *Server) runTrial(ctx context.Context, ie *instEntry, opts runOpts) (*RunResponse, error) {
 	ie.mu.Lock()
 	defer ie.mu.Unlock()
 	label := ie.v.Label()
@@ -640,7 +856,7 @@ func (s *Server) runTrial(ie *instEntry, opts runOpts) (*RunResponse, error) {
 	}
 	sp := obs.Begin("daemon.trial", label.String(), obs.PhaseTrial, -1)
 	start := time.Now()
-	rep := s.runner.Do(context.Background(), t)
+	rep := s.runner.Do(ctx, t)
 	elapsed := time.Since(start).Seconds()
 	sp.Attr("outcome", rep.String())
 	sp.End()
@@ -670,7 +886,7 @@ func (s *Server) runTrial(ie *instEntry, opts runOpts) (*RunResponse, error) {
 		resp.Strategy = ie.inst.Strategy()
 	}
 	if opts.verify {
-		ref, err := ie.wbe.wb.Reference(context.Background(), ie.v.Kernel, ie.mode)
+		ref, err := ie.wbe.wb.Reference(ctx, ie.v.Kernel, ie.mode)
 		if err != nil {
 			return nil, err
 		}
@@ -678,6 +894,24 @@ func (s *Server) runTrial(ie *instEntry, opts runOpts) (*RunResponse, error) {
 		resp.Deviation = &dev
 	}
 	return resp, nil
+}
+
+// Governor exposes the server's resource governor (pastad reads drain
+// state and budget for its shutdown sequence and logs).
+func (s *Server) Governor() *govern.Governor { return s.gov }
+
+// BeginDrain flips the daemon into draining mode: new requests are
+// rejected 503 with a Retry-After hint, joiners waiting on shared
+// flights detach, and in-flight leaders run to completion. Idempotent.
+func (s *Server) BeginDrain() { s.gov.BeginDrain() }
+
+// Drain performs a full graceful drain: stop admitting, then wait for
+// every admitted lease to release, bounded by ctx (callers typically
+// pass a context carrying the drain grace). Returns nil when the
+// daemon is idle, or the ctx error annotated with what is still held.
+func (s *Server) Drain(ctx context.Context) error {
+	s.gov.BeginDrain()
+	return s.gov.AwaitIdle(ctx)
 }
 
 // openBreakers lists the backends whose circuit breaker is open.

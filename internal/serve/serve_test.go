@@ -386,16 +386,16 @@ func TestDaemonMetricsExportsObsCounters(t *testing.T) {
 func TestCacheEviction(t *testing.T) {
 	c := newCache(1, 1)
 	ev0 := ctrCacheEvictions.Value()
-	if _, hit, _ := c.getOrCreate("a", func() (any, error) { return 1, nil }); hit {
+	if _, hit, _ := c.getOrCreate(context.Background(), "a", func() (any, error) { return 1, nil }); hit {
 		t.Fatal("first build reported a hit")
 	}
-	if _, hit, _ := c.getOrCreate("b", func() (any, error) { return 2, nil }); hit {
+	if _, hit, _ := c.getOrCreate(context.Background(), "b", func() (any, error) { return 2, nil }); hit {
 		t.Fatal("distinct key reported a hit")
 	}
 	if got := ctrCacheEvictions.Value() - ev0; got != 1 {
 		t.Fatalf("evictions = %d, want 1", got)
 	}
-	if _, hit, _ := c.getOrCreate("a", func() (any, error) { return 1, nil }); hit {
+	if _, hit, _ := c.getOrCreate(context.Background(), "a", func() (any, error) { return 1, nil }); hit {
 		t.Fatal("evicted key reported a hit")
 	}
 	if c.len() != 1 {
@@ -416,7 +416,7 @@ func TestCacheSingleflight(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-start
-			v, _, err := c.getOrCreate("k", func() (any, error) {
+			v, _, err := c.getOrCreate(context.Background(), "k", func() (any, error) {
 				mu.Lock()
 				builds++
 				mu.Unlock()
@@ -440,10 +440,10 @@ func TestCacheSingleflight(t *testing.T) {
 func TestCacheFailedBuildRetries(t *testing.T) {
 	c := newCache(1, 4)
 	boom := fmt.Errorf("boom")
-	if _, _, err := c.getOrCreate("k", func() (any, error) { return nil, boom }); err != boom {
+	if _, _, err := c.getOrCreate(context.Background(), "k", func() (any, error) { return nil, boom }); err != boom {
 		t.Fatalf("err = %v, want boom", err)
 	}
-	v, hit, err := c.getOrCreate("k", func() (any, error) { return 42, nil })
+	v, hit, err := c.getOrCreate(context.Background(), "k", func() (any, error) { return 42, nil })
 	if err != nil || hit || v != 42 {
 		t.Fatalf("retry after failed build: %v %v %v", v, hit, err)
 	}
