@@ -31,6 +31,7 @@ type jsonRow struct {
 	Efficiency float64 `json:"efficiency"`
 	Source     string  `json:"source"`             // "modeled" | "measured"
 	Strategy   string  `json:"strategy,omitempty"` // reduction strategy of measured reduction kernels
+	Plan       string  `json:"plan,omitempty"`     // conversion path the planner chose while preparing
 	Outcome    string  `json:"outcome,omitempty"`  // resilience outcome summary of guarded measured rows
 	// TrialSec and Counters only appear on measured rows (and Counters
 	// only when -counters armed the registry), so pre-existing series
@@ -116,6 +117,7 @@ var formatLetter = map[roofline.Format]string{
 	roofline.HiCOO: "H",
 	roofline.CSF:   "S",
 	roofline.FCOO:  "F",
+	roofline.BCSF:  "B",
 }
 
 // classifyErr maps a measurement error onto its resilience-taxonomy
@@ -262,7 +264,7 @@ func runFigure(o options, fig, platName string) {
 							Kernel: k.String(), Format: m.Format.String(), Backend: backend,
 							GFLOPS: m.GFLOPS, Roofline: m.Roofline,
 							Efficiency: m.Efficiency, Source: m.Source.String(),
-							Strategy: m.Strategy, Outcome: m.Outcome,
+							Strategy: m.Strategy, Plan: m.Plan, Outcome: m.Outcome,
 							TrialSec: m.TrialSec, Counters: m.Counters,
 						})
 						if m.Strategy != "" {
@@ -289,7 +291,7 @@ func runFigure(o options, fig, platName string) {
 			}
 		}
 	}
-	fmt.Println("\nColumns per kernel (registered formats): -C = COO, -H = HiCOO, -S = CSF, -F = fCOO; Roofline = per-tensor attainable bound (COO OI).")
+	fmt.Println("\nColumns per kernel (registered formats): -C = COO, -H = HiCOO, -S = CSF, -B = bCSF, -F = fCOO; Roofline = per-tensor attainable bound (COO OI).")
 	writeFigureJSON(o, fig, doc)
 	recordBaselineRows(doc)
 	if o.plot {

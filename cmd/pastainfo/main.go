@@ -22,6 +22,7 @@ import (
 	"repro/internal/hicoo"
 	"repro/internal/kernelreg"
 	"repro/internal/reorder"
+	"repro/internal/roofline"
 	"repro/internal/tensor"
 )
 
@@ -32,9 +33,15 @@ import (
 // matrix iterate — so the grid always reflects what a build can run.
 func printVariants() {
 	all := kernelreg.All()
-	fmt.Printf("kernel-variant registry: %d variants across %d (kernel, format) pairs\n\n",
-		len(all), len(kernelreg.Grid()))
-	fmt.Printf("%-8s %-7s %-4s %-4s %-9s %s\n", "Kernel", "Format", "omp", "gpu", "multigpu", "caps")
+	generated := 0
+	for _, v := range all {
+		if v.Generated {
+			generated++
+		}
+	}
+	fmt.Printf("kernel-variant registry: %d variants across %d (kernel, format) pairs (%d hand-tuned, %d generated)\n\n",
+		len(all), len(kernelreg.Grid()), len(all)-generated, generated)
+	fmt.Printf("%-8s %-7s %-4s %-4s %-9s %-5s %s\n", "Kernel", "Format", "omp", "gpu", "multigpu", "impl", "caps")
 	for _, pr := range kernelreg.Grid() {
 		marks := make(map[kernelreg.Backend]string, len(kernelreg.Backends))
 		for _, b := range kernelreg.Backends {
@@ -42,11 +49,17 @@ func printVariants() {
 		}
 		var caps []string
 		seen := make(map[string]bool)
+		anyGen, anyHand := false, false
 		for _, b := range kernelreg.BackendsFor(pr.Kernel, pr.Format) {
 			marks[b] = "x"
 			v, err := kernelreg.Lookup(pr.Kernel, pr.Format, b)
 			if err != nil {
 				continue
+			}
+			if v.Generated {
+				anyGen = true
+			} else {
+				anyHand = true
 			}
 			for _, c := range capFlags(v.Caps) {
 				if !seen[c] {
@@ -59,9 +72,31 @@ func printVariants() {
 		if len(caps) > 0 {
 			capCol = joinComma(caps)
 		}
-		fmt.Printf("%-8s %-7s %-4s %-4s %-9s %s\n",
+		impl := "hand"
+		switch {
+		case anyGen && anyHand:
+			impl = "mixed"
+		case anyGen:
+			impl = "gen"
+		}
+		fmt.Printf("%-8s %-7s %-4s %-4s %-9s %-5s %s\n",
 			pr.Kernel, pr.Format,
-			marks[kernelreg.OMP], marks[kernelreg.GPU], marks[kernelreg.MultiGPU], capCol)
+			marks[kernelreg.OMP], marks[kernelreg.GPU], marks[kernelreg.MultiGPU], impl, capCol)
+	}
+	fmt.Println("\nimpl: hand = hand-tuned registered override; gen = instantiated from the")
+	fmt.Println("format's level declaration by the generic level-iterator kernels (internal/levels).")
+	fmt.Println("\nformat level signatures:")
+	for _, f := range roofline.Formats {
+		for _, v := range all {
+			if v.Format == f {
+				if v.Levels != "" {
+					fmt.Printf("  %-7s %s\n", f, v.Levels)
+				} else {
+					fmt.Printf("  %-7s (no level view)\n", f)
+				}
+				break
+			}
+		}
 	}
 	fmt.Println("\ncaps: mode-sweep = averaged over every tensor mode; factors = consumes dense")
 	fmt.Println("factor matrices (R columns); strategy = OMP path reports its reduction strategy;")

@@ -97,6 +97,26 @@ func TestRegistryObsLabelsStable(t *testing.T) {
 			t.Errorf("%s: Variant.String() and Label().String() disagree (%q vs %q); spans and trial outcomes would land under different keys", s, s, l)
 		}
 	}
+
+	// Conversion spans attribute Prepare work by (label, operand): two
+	// call sites sharing a pair would merge into one trace lane and one
+	// cost-sample stream, so the static site table must be duplicate-free
+	// and fully labeled.
+	sites := make(map[[2]string]bool, len(convSites))
+	for _, site := range convSites {
+		if site[0] == "" || site[1] == "" {
+			t.Errorf("conversion site %q has an empty label or operand", site)
+		}
+		if sites[site] {
+			t.Errorf("conversion site %q listed twice", site)
+		}
+		sites[site] = true
+	}
+	// The CSF sites the registry actually distinguishes must stay
+	// distinct operands of the same span label.
+	if !sites[[2]string{EdgeCSFFromCOO, "Ttv-leaf"}] || !sites[[2]string{EdgeCSFFromCOO, "Mttkrp-root"}] {
+		t.Error("csf.FromCOO call sites lost their distinct operand labels")
+	}
 }
 
 // TestLookupAndGrid covers the registry's query surface: exact lookups

@@ -72,6 +72,13 @@ type Variant struct {
 	Format  roofline.Format
 	Backend Backend
 	Caps    Caps
+	// Generated marks a variant instantiated from the format's level
+	// declaration by the generic kernel bodies (internal/levels), as
+	// opposed to a hand-tuned registered override.
+	Generated bool
+	// Levels is the format's declared level signature (rendered for a
+	// third-order tensor), empty for formats without a level view.
+	Levels string
 	// Model is the Roofline hook: Table 1 work and memory traffic for one
 	// execution under the given workload parameters.
 	Model func(p roofline.Params) (flops, bytes int64)

@@ -42,6 +42,12 @@ func (wb *Workbench) MemBytes() int64 {
 	for _, m := range wb.mats {
 		b += valueBytes * int64(len(m.Data))
 	}
+	for _, c := range wb.csfs {
+		b += c.StorageBytes()
+	}
+	for _, h := range wb.hiers {
+		b += h.StorageBytes()
+	}
 	return b
 }
 
@@ -116,6 +122,10 @@ func EstimateFootprint(k roofline.Kernel, f roofline.Format, dims []int64, nnz i
 		conv += (8+4*order)*nb + (valueBytes+order)*nnz
 	case roofline.CSF:
 		conv += 8*nnz + 4*order*nnz // fiber pointers + per-level ids (nnz upper bound)
+	case roofline.BCSF:
+		// CSF storage plus the root split: one coarse blocked level
+		// (crd + ptr, ≤ root-node count ≤ nnz) and the refined root crds.
+		conv += 8*nnz + 4*order*nnz + (8+4+4)*nnz
 	case roofline.FCOO:
 		conv += 2*4*nnz + nnz/8 + 4*nnz // inds + vals + flag bitmaps
 	}

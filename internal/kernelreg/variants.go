@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/csf"
 	"repro/internal/fcoo"
 	"repro/internal/obs"
 	"repro/internal/roofline"
@@ -23,54 +22,63 @@ func tableModel(k roofline.Kernel, f roofline.Format) func(roofline.Params) (int
 	}
 }
 
-// register wires the common fields of one variant registration.
-func register(k roofline.Kernel, f roofline.Format, b Backend, caps Caps,
-	prep func(wb *Workbench, mode int, b Backend) (*Instance, error)) {
-	Register(&Variant{
-		Kernel: k, Format: f, Backend: b, Caps: caps,
-		Model:   tableModel(k, f),
-		Prepare: func(wb *Workbench, mode int) (*Instance, error) { return prep(wb, mode, b) },
-	})
+// handOverride pins one hand-tuned implementation to a grid cell; cells
+// with no override are filled by the generic level-iterator kernels
+// (see grid.go).
+type handOverride struct {
+	caps Caps
+	prep func(wb *Workbench, mode int, b Backend) (*Instance, error)
 }
 
-func init() {
+// handTuned is the override table the grid generator consults: the
+// suite's tuned COO/HiCOO paths on both backends, the multi-device
+// partitioned reductions, CSF's tree kernels, and F-COO's segmented GPU
+// kernels. Everything the old hand-enumerated init registered is here;
+// the agreement tests pin the generated generics against these.
+func handTuned() map[regKey]handOverride {
+	hand := make(map[regKey]handOverride)
+	add := func(k roofline.Kernel, f roofline.Format, b Backend, caps Caps,
+		prep func(wb *Workbench, mode int, b Backend) (*Instance, error)) {
+		hand[regKey{k, f, b}] = handOverride{caps, prep}
+	}
 	for _, b := range []Backend{OMP, GPU} {
 		strat := b == OMP // only the OMP reduction paths resolve a strategy
-		register(roofline.Tew, roofline.COO, b, Caps{}, prepTewCOO)
-		register(roofline.Tew, roofline.HiCOO, b, Caps{}, prepTewHiCOO)
-		register(roofline.Ts, roofline.COO, b, Caps{}, prepTsCOO)
-		register(roofline.Ts, roofline.HiCOO, b, Caps{}, prepTsHiCOO)
-		register(roofline.Ttv, roofline.COO, b,
+		add(roofline.Tew, roofline.COO, b, Caps{}, prepTewCOO)
+		add(roofline.Tew, roofline.HiCOO, b, Caps{}, prepTewHiCOO)
+		add(roofline.Ts, roofline.COO, b, Caps{}, prepTsCOO)
+		add(roofline.Ts, roofline.HiCOO, b, Caps{}, prepTsHiCOO)
+		add(roofline.Ttv, roofline.COO, b,
 			Caps{ModeDependent: true, StrategyAware: strat}, prepTtvCOO)
-		register(roofline.Ttv, roofline.HiCOO, b,
+		add(roofline.Ttv, roofline.HiCOO, b,
 			Caps{ModeDependent: true, StrategyAware: strat}, prepTtvHiCOO)
-		register(roofline.Ttm, roofline.COO, b,
+		add(roofline.Ttm, roofline.COO, b,
 			Caps{ModeDependent: true, NeedsFactors: true, StrategyAware: strat}, prepTtmCOO)
-		register(roofline.Ttm, roofline.HiCOO, b,
+		add(roofline.Ttm, roofline.HiCOO, b,
 			Caps{ModeDependent: true, NeedsFactors: true, StrategyAware: strat}, prepTtmHiCOO)
-		register(roofline.Mttkrp, roofline.COO, b,
+		add(roofline.Mttkrp, roofline.COO, b,
 			Caps{ModeDependent: true, NeedsFactors: true, StrategyAware: strat}, prepMttkrpCOO)
-		register(roofline.Mttkrp, roofline.HiCOO, b,
+		add(roofline.Mttkrp, roofline.HiCOO, b,
 			Caps{ModeDependent: true, NeedsFactors: true, StrategyAware: strat}, prepMttkrpHiCOO)
 	}
 	// Multi-device partitioned paths exist for the reduction kernels that
 	// have them in core.
-	register(roofline.Ttv, roofline.COO, MultiGPU,
+	add(roofline.Ttv, roofline.COO, MultiGPU,
 		Caps{ModeDependent: true}, prepTtvCOO)
-	register(roofline.Mttkrp, roofline.COO, MultiGPU,
+	add(roofline.Mttkrp, roofline.COO, MultiGPU,
 		Caps{ModeDependent: true, NeedsFactors: true}, prepMttkrpCOO)
 	// CSF: the mode of interest is placed at the tree position its kernel
 	// wants (leaf for Ttv, root for Mttkrp). No native serial path — the
 	// serial rung is the COO reference.
-	register(roofline.Ttv, roofline.CSF, OMP,
+	add(roofline.Ttv, roofline.CSF, OMP,
 		Caps{ModeDependent: true, SerialRef: true}, prepTtvCSF)
-	register(roofline.Mttkrp, roofline.CSF, OMP,
+	add(roofline.Mttkrp, roofline.CSF, OMP,
 		Caps{ModeDependent: true, NeedsFactors: true, SerialRef: true}, prepMttkrpCSF)
 	// F-COO: segmented-reduction GPU kernels only.
-	register(roofline.Ttv, roofline.FCOO, GPU,
+	add(roofline.Ttv, roofline.FCOO, GPU,
 		Caps{ModeDependent: true, SerialRef: true}, prepTtvFCOO)
-	register(roofline.Mttkrp, roofline.FCOO, GPU,
+	add(roofline.Mttkrp, roofline.FCOO, GPU,
 		Caps{ModeDependent: true, NeedsFactors: true, SerialRef: true}, prepMttkrpFCOO)
+	return hand
 }
 
 // otherModesOf lists every mode but `mode` in natural order.
@@ -307,9 +315,7 @@ func prepTtvCSF(wb *Workbench, mode int, b Backend) (*Instance, error) {
 		return nil, badBackend("Ttv/CSF", b)
 	}
 	mo := append(otherModesOf(wb.X.Order(), mode), mode)
-	csp := obs.Begin("csf.FromCOO", "", obs.PhaseConvert, -1)
-	c, err := csf.FromCOO(wb.X, mo)
-	csp.End()
+	c, err := wb.CSF(mo, "Ttv-leaf")
 	if err != nil {
 		return nil, err
 	}
@@ -347,9 +353,7 @@ func prepMttkrpCSF(wb *Workbench, mode int, b Backend) (*Instance, error) {
 		return nil, badBackend("Mttkrp/CSF", b)
 	}
 	mo := append([]int{mode}, otherModesOf(wb.X.Order(), mode)...)
-	csp := obs.Begin("csf.FromCOO", "", obs.PhaseConvert, -1)
-	c, err := csf.FromCOO(wb.X, mo)
-	csp.End()
+	c, err := wb.CSF(mo, "Mttkrp-root")
 	if err != nil {
 		return nil, err
 	}
@@ -385,7 +389,7 @@ func prepTtvFCOO(wb *Workbench, mode int, b Backend) (*Instance, error) {
 	if b != GPU {
 		return nil, badBackend("Ttv/fCOO", b)
 	}
-	csp := obs.Begin("fcoo.FromCOO", "", obs.PhaseConvert, -1)
+	csp := obs.Begin("fcoo.FromCOO", "Ttv", obs.PhaseConvert, -1)
 	fc, err := fcoo.FromCOO(wb.X, mode, wb.SegSize())
 	csp.End()
 	if err != nil {
@@ -423,7 +427,7 @@ func prepMttkrpFCOO(wb *Workbench, mode int, b Backend) (*Instance, error) {
 	if b != GPU {
 		return nil, badBackend("Mttkrp/fCOO", b)
 	}
-	csp := obs.Begin("fcoo.FromCOOMttkrp", "", obs.PhaseConvert, -1)
+	csp := obs.Begin("fcoo.FromCOOMttkrp", "Mttkrp", obs.PhaseConvert, -1)
 	fc, err := fcoo.FromCOOMttkrp(wb.X, mode, wb.SegSize())
 	csp.End()
 	if err != nil {

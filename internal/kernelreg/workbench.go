@@ -6,9 +6,11 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/csf"
 	"repro/internal/fcoo"
 	"repro/internal/gpusim"
 	"repro/internal/hicoo"
+	"repro/internal/levels"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/tensor"
@@ -59,15 +61,21 @@ type Workbench struct {
 	// mu guards the lazy-initialized operand and device fields below.
 	// The critical sections are pure construction (no kernel execution),
 	// so holding mu never blocks on a running trial.
-	mu   sync.Mutex
-	y    *tensor.COO
-	hx   *hicoo.HiCOO
-	hy   *hicoo.HiCOO
-	vecs map[int]tensor.Vector
-	ttm  map[int]*tensor.Matrix
-	mats []*tensor.Matrix
-	dev  *gpusim.Device
-	devs []*gpusim.Device
+	mu    sync.Mutex
+	y     *tensor.COO
+	hx    *hicoo.HiCOO
+	hy    *hicoo.HiCOO
+	vecs  map[int]tensor.Vector
+	ttm   map[int]*tensor.Matrix
+	mats  []*tensor.Matrix
+	csfs  map[string]*csf.CSF          // CSF trees keyed by mode order
+	hiers map[string]*levels.Hierarchy // level hierarchies keyed by format+mode order
+	dev   *gpusim.Device
+	devs  []*gpusim.Device
+
+	// costs is the per-dataset conversion cost table the planner reads
+	// and every observed conversion feeds (see planner.go).
+	costs *ConvCosts
 
 	// refMu guards refs. References are computed outside the lock (the
 	// computation itself Prepares and runs a serial instance, which takes
@@ -94,11 +102,14 @@ func NewWorkbench(x *tensor.COO, cfg Config) *Workbench {
 		cfg.SegSize = fcoo.DefaultSegSize
 	}
 	return &Workbench{
-		X:    x,
-		cfg:  cfg,
-		vecs: make(map[int]tensor.Vector),
-		ttm:  make(map[int]*tensor.Matrix),
-		refs: make(map[refKey]Canon),
+		X:     x,
+		cfg:   cfg,
+		vecs:  make(map[int]tensor.Vector),
+		ttm:   make(map[int]*tensor.Matrix),
+		csfs:  make(map[string]*csf.CSF),
+		hiers: make(map[string]*levels.Hierarchy),
+		refs:  make(map[refKey]Canon),
+		costs: NewConvCosts(),
 	}
 }
 

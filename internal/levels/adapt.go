@@ -1,0 +1,69 @@
+package levels
+
+import (
+	"fmt"
+
+	"repro/internal/csf"
+	"repro/internal/tensor"
+)
+
+// FromCSF wraps an existing CSF tree as a hierarchy without copying:
+// CSF's fiber arrays are exactly a hierarchy of compressed levels, so
+// the adapter is a relabeling. The hierarchy aliases the tree's arrays
+// and must be treated as read-only.
+func FromCSF(c *csf.CSF) *Hierarchy {
+	order := c.Order()
+	// Slot i is tensor mode c.ModeOrder[i] — the tree's own level order.
+	return &Hierarchy{
+		Sig:       CSFSig(order),
+		Dims:      c.Dims,
+		ModeOrder: c.ModeOrder,
+		Crd:       c.FIds,
+		Ptr:       c.FPtr,
+		Vals:      c.Vals,
+	}
+}
+
+// BlockRoot converts a CSF-shaped hierarchy (compressed root) into
+// blocked-CSF by splitting the root level into a coarse blocked level
+// and its refinement. Because the root is sorted by coordinate, the
+// coarse keys (crd >> bits) are already sorted too, so the split is one
+// linear scan over the root nodes — the cheap direct conversion edge
+// the planner weighs against rebuilding from COO.
+func BlockRoot(h *Hierarchy, bits uint8) (*Hierarchy, error) {
+	if len(h.Sig.Levels) == 0 || h.Sig.Levels[0].Kind != Compressed {
+		return nil, fmt.Errorf("levels: BlockRoot needs a compressed root, have %s", h.Sig)
+	}
+	if bits == 0 {
+		return nil, fmt.Errorf("levels: BlockRoot with zero block bits")
+	}
+	roots := h.NumNodes(0)
+	mask := tensor.Index(1)<<bits - 1
+	coarseCrd := make([]tensor.Index, 0, roots/2+1)
+	coarsePtr := make([]int64, 0, roots/2+2)
+	fineCrd := make([]tensor.Index, roots)
+	for i, c := range h.Crd[0] {
+		hi := c >> bits
+		fineCrd[i] = c & mask
+		if i == 0 || h.Crd[0][i-1]>>bits != hi {
+			coarseCrd = append(coarseCrd, hi)
+			coarsePtr = append(coarsePtr, int64(i))
+		}
+	}
+	coarsePtr = append(coarsePtr, int64(roots))
+
+	sig := Signature{Name: "bCSF", Levels: []LevelDesc{
+		{Kind: Blocked, Slot: h.Sig.Levels[0].Slot, Shift: bits, Partial: true},
+		{Kind: Blocked, Slot: h.Sig.Levels[0].Slot},
+	}}
+	sig.Levels = append(sig.Levels, h.Sig.Levels[1:]...)
+	out := &Hierarchy{
+		Sig:       sig,
+		Dims:      h.Dims,
+		ModeOrder: h.ModeOrder,
+		Crd:       append([][]tensor.Index{coarseCrd, fineCrd}, h.Crd[1:]...),
+		Ptr:       append([][]int64{coarsePtr}, h.Ptr...),
+		Vals:      h.Vals,
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package levels
+
+// Canonical signatures for the suite's formats. A format joins the
+// generated kernel grid by adding a constructor here and declaring it in
+// the kernelreg hierarchy table — no kernel bodies.
+
+// COOSig declares coordinate format: the leading slot compresses (a
+// sorted COO's first mode has runs), the rest are singleton index
+// arrays.
+func COOSig(order int) Signature {
+	s := Signature{Name: "COO", Levels: []LevelDesc{{Kind: Compressed, Slot: 0}}}
+	for slot := 1; slot < order; slot++ {
+		s.Levels = append(s.Levels, LevelDesc{Kind: Singleton, Slot: slot})
+	}
+	return s
+}
+
+// CSFSig declares compressed sparse fiber: every slot compressed, the
+// SPLATT tree.
+func CSFSig(order int) Signature {
+	s := Signature{Name: "CSF"}
+	for slot := 0; slot < order; slot++ {
+		s.Levels = append(s.Levels, LevelDesc{Kind: Compressed, Slot: slot})
+	}
+	return s
+}
+
+// BCSFSig declares blocked-CSF: the root slot splits into a coarse
+// blocked level (coord >> bits) and its refinement, then the remaining
+// slots compress as in CSF. The coarse root gives coarse-grained
+// parallel tasks and keeps the refinement coordinates in [0, 2^bits)
+// cache range — the format the generated grid ships as proof that a
+// format is just a declaration.
+func BCSFSig(order int, bits uint8) Signature {
+	s := Signature{Name: "bCSF", Levels: []LevelDesc{
+		{Kind: Blocked, Slot: 0, Shift: bits, Partial: true},
+		{Kind: Blocked, Slot: 0},
+	}}
+	for slot := 1; slot < order; slot++ {
+		s.Levels = append(s.Levels, LevelDesc{Kind: Compressed, Slot: slot})
+	}
+	return s
+}
+
+// HiCOOSig declares the level view of HiCOO: every mode's coarse block
+// coordinate first (lexicographic block order rather than the native
+// Morton order), then every mode's in-block refinement. The hand-tuned
+// HiCOO kernels stay the registered fast path; this view is what the
+// agreement tests pin them against.
+func HiCOOSig(order int, bits uint8) Signature {
+	s := Signature{Name: "HiCOO"}
+	for slot := 0; slot < order; slot++ {
+		s.Levels = append(s.Levels, LevelDesc{Kind: Blocked, Slot: slot, Shift: bits, Partial: true})
+	}
+	for slot := 0; slot < order; slot++ {
+		s.Levels = append(s.Levels, LevelDesc{Kind: Blocked, Slot: slot})
+	}
+	return s
+}

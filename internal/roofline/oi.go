@@ -54,11 +54,15 @@ const (
 	CSF
 	// FCOO is the flagged-COO format of Liu et al. (segmented reductions).
 	FCOO
+	// BCSF is blocked-CSF: a CSF tree whose root splits into a coarse
+	// blocked level and its refinement (declared in internal/levels; its
+	// kernels are generated, not hand-written).
+	BCSF
 )
 
 // Formats lists every format the suite implements kernels for, in the
 // order harness tables enumerate them.
-var Formats = []Format{COO, HiCOO, CSF, FCOO}
+var Formats = []Format{COO, HiCOO, CSF, FCOO, BCSF}
 
 func (f Format) String() string {
 	switch f {
@@ -68,6 +72,8 @@ func (f Format) String() string {
 		return "CSF"
 	case FCOO:
 		return "fCOO"
+	case BCSF:
+		return "bCSF"
 	}
 	return "COO"
 }
@@ -121,7 +127,9 @@ func Bytes(k Kernel, f Format, p Params) int64 {
 		// Read input values, write output values.
 		return 8 * p.M
 	case Ttv:
-		if f == CSF {
+		if f == CSF || f == BCSF {
+			// bCSF adds only a coarse root level (≤ MF extra nodes); its
+			// traffic matches CSF to leading order.
 			// Fiber-compressed indices: 4M values + 4M leaf indices + 4M
 			// vector gathers amortize to the same leading term as COO, but
 			// upper-level node indices are per-fiber, not per-nonzero.
@@ -140,7 +148,7 @@ func Bytes(k Kernel, f Format, p Params) int64 {
 		// 4·MF·R output values, 4(N-1)·MF output indices.
 		return 8*p.M + 4*p.M*p.R + 4*p.MF*p.R + 4*(n-1)*p.MF
 	case Mttkrp:
-		if f == CSF {
+		if f == CSF || f == BCSF {
 			// 8M leaf values+indices and 4MR leaf-mode factor reads per
 			// nonzero, but the N-1 upper-level factor rows and node
 			// indices are read once per fiber, plus 8MF fiber pointers.

@@ -209,6 +209,10 @@ type RunResponse struct {
 	FellFrom string `json:"fellFrom,omitempty"`
 	Attempts int    `json:"attempts"`
 	Strategy string `json:"strategy,omitempty"`
+	// Plan names the conversion path the planner chose while preparing
+	// this variant's instance (e.g. "reuse-csf:levels.BlockRoot"); empty
+	// when no planned conversion happened or the instance was cached.
+	Plan string `json:"plan,omitempty"`
 	// Flops is the Table 1 work of one execution; GFLOPS divides it by
 	// the measured wall time.
 	Flops      int64   `json:"flops"`
@@ -343,6 +347,12 @@ type variantInfo struct {
 	NeedsFactors  bool   `json:"needsFactors"`
 	StrategyAware bool   `json:"strategyAware"`
 	SerialRef     bool   `json:"serialRef"`
+	// Generated marks a variant instantiated by the generic
+	// level-iterator kernels from the format's declaration.
+	Generated bool `json:"generated"`
+	// Levels is the format's declared level signature (empty for
+	// formats without a level view).
+	Levels string `json:"levels,omitempty"`
 }
 
 func (s *Server) handleVariants(w http.ResponseWriter, r *http.Request) {
@@ -357,6 +367,8 @@ func (s *Server) handleVariants(w http.ResponseWriter, r *http.Request) {
 			NeedsFactors:  v.Caps.NeedsFactors,
 			StrategyAware: v.Caps.StrategyAware,
 			SerialRef:     v.Caps.SerialRef,
+			Generated:     v.Generated,
+			Levels:        v.Levels,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -877,6 +889,7 @@ func (s *Server) runTrial(ctx context.Context, ie *instEntry, opts runOpts) (*Ru
 		Attempts:     rep.Attempts,
 		Flops:        ie.inst.Flops,
 		ElapsedSec:   elapsed,
+		Plan:         ie.inst.Plan,
 		BreakersOpen: s.openBreakers(),
 	}
 	if elapsed > 0 {
