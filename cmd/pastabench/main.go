@@ -42,6 +42,7 @@ type options struct {
 	timeout     time.Duration
 	fallback    bool
 	chaosSeed   int64
+	memBudget   string
 
 	// Observability (see DESIGN.md §11).
 	trace       string
@@ -56,7 +57,7 @@ type options struct {
 
 func main() {
 	var (
-		exp = flag.String("exp", "all", "experiments: table1,table2,table3,table4,fig3,fig4,fig5,fig6,fig7,observations,ablation,dist,all")
+		exp = flag.String("exp", "all", "experiments: table1,table2,table3,table4,fig3,fig4,fig5,fig6,fig7,observations,ablation,dist,ooc,all")
 		o   options
 	)
 	flag.IntVar(&o.nnz, "nnz", 50000, "target non-zeros for dataset stand-ins")
@@ -73,6 +74,7 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 0, "deadline per guarded host-measurement trial, e.g. 30s (0 disables)")
 	flag.BoolVar(&o.fallback, "fallback", false, "degrade a faulting measurement to the serial rung instead of failing")
 	flag.Int64Var(&o.chaosSeed, "chaos-seed", 0, "non-zero: inject deterministic faults into host measurement (fault drill)")
+	flag.StringVar(&o.memBudget, "mem-budget", "", "tile-residency byte cap for the ooc experiment, e.g. 8MiB (default: the streaming default)")
 	flag.StringVar(&o.trace, "trace", "", "write a Chrome trace_event JSON of the run to this file (about:tracing / Perfetto)")
 	flag.BoolVar(&o.traceBlocks, "trace-blocks", false, "with -trace: also record one span per simulated-GPU thread block (large traces)")
 	flag.BoolVar(&o.counters, "counters", false, "enable runtime counters and print their summary after the experiments")
@@ -109,8 +111,9 @@ func main() {
 		"observations": runObservations,
 		"ablation":     runAblations,
 		"dist":         runDistScaling,
+		"ooc":          runOOCStreaming,
 	}
-	order := []string{"table1", "table2", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "observations", "ablation", "dist"}
+	order := []string{"table1", "table2", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "observations", "ablation", "dist", "ooc"}
 
 	var selected []string
 	if *exp == "all" {

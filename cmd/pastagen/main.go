@@ -7,6 +7,7 @@
 //	pastagen -gen pl -dims 32768,32768,76 -sparse 0,1 -nnz 1000000 -o irrS.tns
 //	pastagen -recipe s4 -nnz 100000 -o irrS-standin.tns   # a Table 3 recipe
 //	pastagen -recipe deli -o deli.bten                    # fast binary output
+//	pastagen -recipe deli -tiled -o deli.bten             # tiled v3 (out-of-core)
 package main
 
 import (
@@ -34,6 +35,8 @@ func main() {
 		recipe  = flag.String("recipe", "", "generate a Table 2/3 entry by ID or name (e.g. s4, irrS, deli)")
 		out     = flag.String("o", "", "output path: .tns, .tns.gz, or .bten (default .tns to stdout)")
 		binv1   = flag.Bool("binv1", false, "write .bten output in the legacy checksum-free v1 layout")
+		tiled   = flag.Bool("tiled", false, "write .bten output in the tiled v3 layout (streamable tile-at-a-time)")
+		tileNNZ = flag.Int("tile-nnz", tensor.DefaultTileNNZ, "target non-zeros per tile for -tiled output")
 	)
 	flag.Parse()
 
@@ -81,7 +84,14 @@ func main() {
 		return
 	}
 	start := time.Now()
-	if *binv1 {
+	if *tiled && *binv1 {
+		fail(fmt.Errorf("pastagen: -tiled and -binv1 are mutually exclusive"))
+	}
+	if *tiled {
+		if err := tensor.WriteFileTiled(*out, x, *tileNNZ); err != nil {
+			fail(err)
+		}
+	} else if *binv1 {
 		if !strings.HasSuffix(*out, ".bten") {
 			fail(fmt.Errorf("pastagen: -binv1 requires a .bten output path"))
 		}

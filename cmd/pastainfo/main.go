@@ -6,6 +6,7 @@
 // Usage:
 //
 //	pastainfo -f tensor.tns
+//	pastainfo -f tensor.bten           # binary input; v3 also prints the tile directory
 //	pastainfo -id deli -nnz 100000     # a scaled Table 2 stand-in
 //	pastainfo -variants                # print the kernel-variant registry
 package main
@@ -41,7 +42,7 @@ func printVariants() {
 	}
 	fmt.Printf("kernel-variant registry: %d variants across %d (kernel, format) pairs (%d hand-tuned, %d generated)\n\n",
 		len(all), len(kernelreg.Grid()), len(all)-generated, generated)
-	fmt.Printf("%-8s %-7s %-4s %-4s %-9s %-5s %s\n", "Kernel", "Format", "omp", "gpu", "multigpu", "impl", "caps")
+	fmt.Printf("%-8s %-7s %-4s %-4s %-9s %-4s %-5s %s\n", "Kernel", "Format", "omp", "gpu", "multigpu", "ooc", "impl", "caps")
 	for _, pr := range kernelreg.Grid() {
 		marks := make(map[kernelreg.Backend]string, len(kernelreg.Backends))
 		for _, b := range kernelreg.Backends {
@@ -79,9 +80,10 @@ func printVariants() {
 		case anyGen:
 			impl = "gen"
 		}
-		fmt.Printf("%-8s %-7s %-4s %-4s %-9s %-5s %s\n",
+		fmt.Printf("%-8s %-7s %-4s %-4s %-9s %-4s %-5s %s\n",
 			pr.Kernel, pr.Format,
-			marks[kernelreg.OMP], marks[kernelreg.GPU], marks[kernelreg.MultiGPU], impl, capCol)
+			marks[kernelreg.OMP], marks[kernelreg.GPU], marks[kernelreg.MultiGPU],
+			marks[kernelreg.OOC], impl, capCol)
 	}
 	fmt.Println("\nimpl: hand = hand-tuned registered override; gen = instantiated from the")
 	fmt.Println("format's level declaration by the generic level-iterator kernels (internal/levels).")
@@ -119,6 +121,32 @@ func capFlags(c kernelreg.Caps) []string {
 		out = append(out, "serial-ref")
 	}
 	return out
+}
+
+// printTileDirectory renders a PSTB v3 tile directory: one row per
+// tile with its non-zero range, payload extent, and per-mode bounding
+// box — the layout the out-of-core executor streams tile-at-a-time.
+func printTileDirectory(tr *tensor.TileReader) {
+	fmt.Printf("\ntile directory (PSTB v3, target %d nnz/tile, %d tiles, max tile %d bytes):\n",
+		tr.TargetTileNNZ, tr.NumTiles(), tr.MaxTileBytes())
+	fmt.Printf("%6s %12s %10s %12s %10s  %s\n", "tile", "start", "nnz", "offset", "bytes", "bounding box")
+	const maxRows = 32
+	for i := range tr.Tiles {
+		if i == maxRows {
+			fmt.Printf("%6s (%d more tiles)\n", "...", len(tr.Tiles)-maxRows)
+			break
+		}
+		ti := &tr.Tiles[i]
+		box := "(empty)"
+		if !ti.Empty() {
+			parts := make([]string, len(ti.BoxLo))
+			for n := range ti.BoxLo {
+				parts[n] = fmt.Sprintf("%d..%d", ti.BoxLo[n], ti.BoxHi[n])
+			}
+			box = joinComma(parts)
+		}
+		fmt.Printf("%6d %12d %10d %12d %10d  %s\n", i, ti.Start, ti.Count, ti.Offset, ti.Bytes, box)
+	}
 }
 
 func joinComma(parts []string) string {
@@ -214,6 +242,14 @@ func main() {
 	}
 	if cerr == nil {
 		fmt.Printf("%-28s %14d bytes\n", "CSF (natural order)", c.StorageBytes())
+	}
+
+	// A tiled v3 file additionally carries the directory an out-of-core
+	// stream iterates; v1/v2 files simply lack one and print nothing.
+	if *file != "" {
+		if tr, ok, derr := tensor.ReadTileDirectory(*file); derr == nil && ok {
+			printTileDirectory(tr)
+		}
 	}
 
 	if *reorderCmp {

@@ -8,14 +8,19 @@ import (
 )
 
 // Grid generation. The registry's variant grid is produced by
-// enumerating kernel × format × backend and applying two rules, instead
-// of hand-listing every cell:
+// enumerating kernel × format × backend and applying three rules,
+// instead of hand-listing every cell:
 //
 //  1. A cell claimed by the hand-tuned override table (variants.go)
 //     registers that implementation — the suite's tuned fast paths.
 //  2. An unclaimed cell whose format declares a level signature and
 //     whose kernel has a generic level-iterator body (Ttv, Ttm, Mttkrp
 //     on the OMP backend) registers the generic implementation.
+//  3. A cell on the OOC backend whose kernel has a streaming body
+//     (Ttv, Mttkrp over a COO tile stream) registers the out-of-core
+//     implementation (streaming.go) — so the streamed kernels are
+//     verified by pastaverify and fault-drilled by the chaos matrix
+//     like every in-core variant.
 //
 // Adding a format is therefore one signature declaration: blocked-CSF
 // appears in pastaverify, pastabench, pastainfo, and the chaos matrix
@@ -25,6 +30,24 @@ import (
 
 // genericKernels lists the kernels with generic level-iterator bodies.
 var genericKernels = []roofline.Kernel{roofline.Ttv, roofline.Ttm, roofline.Mttkrp}
+
+// streamingKernels lists the kernels with out-of-core streaming bodies
+// (internal/ooc).
+var streamingKernels = []roofline.Kernel{roofline.Ttv, roofline.Mttkrp}
+
+// streamingCell reports whether rule 3 fills (k, f, b): the streaming
+// bodies consume a COO tile stream on the OOC backend.
+func streamingCell(k roofline.Kernel, f roofline.Format, b Backend) bool {
+	if b != OOC || f != roofline.COO {
+		return false
+	}
+	for _, sk := range streamingKernels {
+		if sk == k {
+			return true
+		}
+	}
+	return false
+}
 
 // genericCell reports whether rule 2 fills (k, f, b): the generic
 // bodies run on parallel.For (OMP) and need a level view of the format.
@@ -75,6 +98,17 @@ func init() {
 						SerialRef:     true,
 					}
 					registerCell(k, f, b, caps, true, genericPrep(k, f))
+					continue
+				}
+				if streamingCell(k, f, b) {
+					// The serial rung is the deterministic stream — a
+					// native path, not the COO reference — so SerialRef
+					// stays unset.
+					caps := Caps{
+						ModeDependent: true,
+						NeedsFactors:  k == roofline.Mttkrp,
+					}
+					registerCell(k, f, b, caps, false, streamingPrep(k))
 				}
 			}
 		}

@@ -27,9 +27,10 @@ func TestGridGeneration(t *testing.T) {
 			for _, b := range Backends {
 				_, claimed := hand[regKey{k, f, b}]
 				wantGenerated := !claimed && genericCell(k, f, b)
+				wantStreaming := !claimed && !wantGenerated && streamingCell(k, f, b)
 				v, err := Lookup(k, f, b)
 				switch {
-				case claimed || wantGenerated:
+				case claimed || wantGenerated || wantStreaming:
 					expected++
 					if err != nil {
 						t.Errorf("%s/%s@%s: expected in grid, Lookup: %v", k, f, b, err)
@@ -89,6 +90,30 @@ func TestGridGeneration(t *testing.T) {
 	for _, k := range genericKernels {
 		if _, err := Lookup(k, roofline.BCSF, OMP); err != nil {
 			t.Errorf("declared format bCSF missing %s variant: %v", k, err)
+		}
+	}
+
+	// Rule 3: the streaming kernels exist on the OOC backend, carry the
+	// streaming capability contract, and nothing else does.
+	for _, k := range streamingKernels {
+		v, err := Lookup(k, roofline.COO, OOC)
+		if err != nil {
+			t.Errorf("streaming kernel %s missing OOC variant: %v", k, err)
+			continue
+		}
+		if v.Generated {
+			t.Errorf("%s: streaming variant marked Generated", v)
+		}
+		if !v.Caps.ModeDependent || v.Caps.SerialRef || v.Caps.StrategyAware {
+			t.Errorf("%s: streaming variant caps %+v, want ModeDependent only", v, v.Caps)
+		}
+		if want := k == roofline.Mttkrp; v.Caps.NeedsFactors != want {
+			t.Errorf("%s: NeedsFactors = %v, want %v", v, v.Caps.NeedsFactors, want)
+		}
+	}
+	for _, k := range []roofline.Kernel{roofline.Tew, roofline.Ts, roofline.Ttm} {
+		if _, err := Lookup(k, roofline.COO, OOC); !errors.Is(err, resilience.ErrUnsupported) {
+			t.Errorf("Lookup(%s, COO, ooc) error = %v, want ErrUnsupported", k, err)
 		}
 	}
 }

@@ -34,10 +34,15 @@ const (
 	GPU
 	// MultiGPU partitions across several simulated devices.
 	MultiGPU
+	// OOC is the out-of-core streaming backend (internal/ooc): kernels
+	// run over a PSTB v3 tile stream under a byte budget instead of the
+	// in-core tensor.
+	OOC
 )
 
-// Backends lists the backends in registry order.
-var Backends = []Backend{OMP, GPU, MultiGPU}
+// Backends lists the backends in registry order. OOC is last so
+// HostVariant keeps preferring the in-core implementations.
+var Backends = []Backend{OMP, GPU, MultiGPU, OOC}
 
 func (b Backend) String() string {
 	switch b {
@@ -45,6 +50,8 @@ func (b Backend) String() string {
 		return "gpu"
 	case MultiGPU:
 		return "multigpu"
+	case OOC:
+		return "ooc"
 	}
 	return "omp"
 }

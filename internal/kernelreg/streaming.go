@@ -1,0 +1,135 @@
+package kernelreg
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"repro/internal/ooc"
+	"repro/internal/roofline"
+	"repro/internal/tensor"
+)
+
+// The OOC backend's variants (grid rule 3): Ttv and Mttkrp running over
+// a PSTB v3 tile stream via internal/ooc instead of the in-core tensor.
+// Prepare serializes the workbench tensor into an in-memory tiled image
+// sliced into several tiles and streams it under a budget a small
+// multiple of the largest tile, so pastaverify and the chaos matrix
+// exercise the real pipeline — leasing, prefetch, eviction — even on
+// lint-sized tensors. The Run rung is the parallel stream; the Serial
+// rung is the deterministic stream, whose output is bit-exact against
+// the serial in-core kernels.
+
+// streamTiles is the minimum tile count the workbench image is cut into.
+const streamTiles = 8
+
+// streamingPrep returns the rule-3 Prepare hook for kernel k.
+func streamingPrep(k roofline.Kernel) func(wb *Workbench, mode int, b Backend) (*Instance, error) {
+	return func(wb *Workbench, mode int, b Backend) (*Instance, error) {
+		if b != OOC {
+			return nil, badBackend(fmt.Sprintf("%s/COO streaming", k), b)
+		}
+		switch k {
+		case roofline.Ttv:
+			return prepTtvOOC(wb, mode)
+		case roofline.Mttkrp:
+			return prepMttkrpOOC(wb, mode)
+		}
+		return nil, fmt.Errorf("kernelreg: kernel %s has no streaming body", k)
+	}
+}
+
+// TileReader returns the v3 tile view of X, serialized once per
+// workbench into an in-memory image of at least streamTiles tiles. The
+// reader is safe for concurrent streams: ReadAt is stateless and the
+// directory is read-only; each stream owns its decode buffers.
+func (wb *Workbench) TileReader() (*tensor.TileReader, error) {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	if wb.tiled != nil {
+		return wb.tiled, nil
+	}
+	tileNNZ := (wb.X.NNZ() + streamTiles - 1) / streamTiles
+	if tileNNZ < 1 {
+		tileNNZ = 1
+	}
+	var buf bytes.Buffer
+	if err := tensor.WriteBinaryTiled(&buf, wb.X, tileNNZ); err != nil {
+		return nil, err
+	}
+	raw := buf.Bytes()
+	tr, err := tensor.NewTileReader(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		return nil, err
+	}
+	wb.tiled = tr
+	return tr, nil
+}
+
+// streamBudget is the tile-residency budget the workbench variants run
+// under: five times the largest tile — enough for the double-buffered
+// pipeline (two leases of at most 2× a tile each), small enough that
+// the stream actually cycles leases on multi-tile images.
+func streamBudget(tr *tensor.TileReader) int64 {
+	b := 5 * tr.MaxTileBytes()
+	if b < 1<<16 {
+		b = 1 << 16
+	}
+	return b
+}
+
+func prepMttkrpOOC(wb *Workbench, mode int) (*Instance, error) {
+	tr, err := wb.TileReader()
+	if err != nil {
+		return nil, err
+	}
+	mats := wb.Mats()
+	out := tensor.NewMatrix(int(tr.Dims[mode]), wb.R())
+	inst := &Instance{Flops: ooc.MttkrpFlops(tr, wb.R())}
+	inst.out = func() any { return out }
+	inst.Check = func() error { return checkFinite(out) }
+	run := func(ctx context.Context, det bool) error {
+		o, _, err := ooc.Mttkrp(ctx, tr, mats, mode, ooc.Options{
+			MemBudget: streamBudget(tr), Deterministic: det, Sched: wb.Opt(ctx),
+		})
+		if err != nil {
+			return err
+		}
+		out = o
+		return nil
+	}
+	inst.Run = func(ctx context.Context) error { return run(ctx, false) }
+	inst.Serial = func(ctx context.Context) error { return run(ctx, true) }
+	return inst, nil
+}
+
+func prepTtvOOC(wb *Workbench, mode int) (*Instance, error) {
+	tr, err := wb.TileReader()
+	if err != nil {
+		return nil, err
+	}
+	v := wb.Vec(mode)
+	outDims := make([]tensor.Index, 0, tr.Order()-1)
+	for n, d := range tr.Dims {
+		if n != mode {
+			outDims = append(outDims, d)
+		}
+	}
+	out := tensor.NewCOO(outDims, 0)
+	inst := &Instance{Flops: ooc.TtvFlops(tr)}
+	inst.out = func() any { return out }
+	inst.Check = func() error { return checkFinite(out) }
+	run := func(ctx context.Context, det bool) error {
+		o, _, err := ooc.Ttv(ctx, tr, v, mode, ooc.Options{
+			MemBudget: streamBudget(tr), Deterministic: det, Sched: wb.Opt(ctx),
+		})
+		if err != nil {
+			return err
+		}
+		out = o
+		return nil
+	}
+	inst.Run = func(ctx context.Context) error { return run(ctx, false) }
+	inst.Serial = func(ctx context.Context) error { return run(ctx, true) }
+	return inst, nil
+}

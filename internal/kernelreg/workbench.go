@@ -72,6 +72,7 @@ type Workbench struct {
 	hiers map[string]*levels.Hierarchy // level hierarchies keyed by format+mode order
 	dev   *gpusim.Device
 	devs  []*gpusim.Device
+	tiled *tensor.TileReader // v3 tile view of X for the OOC variants
 
 	// costs is the per-dataset conversion cost table the planner reads
 	// and every observed conversion feeds (see planner.go).

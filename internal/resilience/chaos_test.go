@@ -69,7 +69,9 @@ func TestChaosMatrix(t *testing.T) {
 			{"panic-persistent", resilience.FaultPanic, 0, resilience.OutcomeFellBack},
 			{"stall", resilience.FaultStall, 1, resilience.OutcomeTimeout},
 		}
-		if v.Backend != kernelreg.OMP {
+		// Launch faults exist only on the simulated-device backends; OMP
+		// and OOC run no gpusim launches, so the fault would never fire.
+		if v.Backend == kernelreg.GPU || v.Backend == kernelreg.MultiGPU {
 			faults = append(faults,
 				faultCase{"launch-fail", resilience.FaultLaunchFail, 0, resilience.OutcomeFellBack})
 		}

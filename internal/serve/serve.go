@@ -175,8 +175,9 @@ type RunRequest struct {
 	Kernel string `json:"kernel"`
 	// Format is one of COO, HiCOO, CSF, fCOO (case-insensitive).
 	Format string `json:"format"`
-	// Backend is omp, gpu, or multigpu; empty picks the host variant
-	// the measurement harness would (OMP first, then simulated GPU).
+	// Backend is omp, gpu, multigpu, or ooc (out-of-core streaming);
+	// empty picks the host variant the measurement harness would (OMP
+	// first, then simulated GPU).
 	Backend string `json:"backend"`
 	// Mode is the tensor mode for mode-dependent kernels (Ttv, Ttm,
 	// Mttkrp); ignored for Tew/Ts.
@@ -234,6 +235,29 @@ type RunResponse struct {
 	// Dist reports the distributed execution when the request asked for
 	// ranks > 0.
 	Dist *DistInfo `json:"dist,omitempty"`
+	// OOC reports the streaming pipeline when the request ran out of
+	// core (an over-budget request rerouted to the tile stream).
+	OOC *OOCInfo `json:"ooc,omitempty"`
+}
+
+// OOCInfo is the out-of-core section of a RunResponse: what the
+// bounded-memory tile stream did instead of an in-core execution.
+type OOCInfo struct {
+	// Budget is the tile-residency byte budget the stream ran under;
+	// PeakBytes the leased high-water mark (always <= Budget).
+	Budget    int64 `json:"budget"`
+	PeakBytes int64 `json:"peakBytes"`
+	// Tiles/BytesRead are the tile stream volume; Evictions the leases
+	// released after compute.
+	Tiles     int64 `json:"tiles"`
+	BytesRead int64 `json:"bytesRead"`
+	Evictions int64 `json:"evictions"`
+	// PrefetchHits/PrefetchStalls report how well the double-buffered
+	// read pipeline overlapped with compute.
+	PrefetchHits   int64 `json:"prefetchHits"`
+	PrefetchStalls int64 `json:"prefetchStalls"`
+	// FileBytes is the size of the spooled v3 tile file the stream read.
+	FileBytes int64 `json:"fileBytes"`
 }
 
 // DistInfo is the distributed-path section of a RunResponse: the
@@ -445,6 +469,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, ErrorBody{
 				Type: "draining", Message: "daemon is draining; not admitting new work"})
 		case errors.Is(err, govern.ErrOverBudget):
+			// A dataset too large to run in core may still be streamable:
+			// the out-of-core path holds only a budgeted tile window plus
+			// dense operands, so it is re-admitted at that (much smaller)
+			// cost and runs instead of 413ing.
+			if s.tryStreamOverBudget(ctx, w, req, client) {
+				return
+			}
 			// No Retry-After: a request larger than the whole budget can
 			// never be admitted, so there is no useful time to suggest.
 			writeError(w, http.StatusRequestEntityTooLarge, ErrorBody{
@@ -649,6 +680,8 @@ func parseVariant(req RunRequest) (roofline.Kernel, roofline.Format, kernelreg.B
 		b = kernelreg.GPU
 	case "multigpu":
 		b = kernelreg.MultiGPU
+	case "ooc":
+		b = kernelreg.OOC
 	default:
 		return 0, 0, 0, bad("backend", req.Backend)
 	}

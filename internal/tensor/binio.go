@@ -12,13 +12,15 @@ import (
 	"math"
 	"os"
 	"strings"
+	"sync"
 	"time"
 )
 
 // Binary tensor format ("PSTB"): parsing the FROSTT text format dominates
 // load time for 100M-non-zero tensors, so the suite also supports a flat
 // little-endian binary layout (the same reason ParTI and PASTA ship .bin
-// formats). Two versions exist:
+// formats). Three versions exist (v3, the tiled layout for out-of-core
+// streaming, is specified in tileio.go):
 //
 // v1 (legacy, read-only):
 //
@@ -44,6 +46,7 @@ const (
 	binMagic    = "PSTB"
 	binVersion1 = 1
 	binVersion2 = 2
+	binVersion3 = 3 // tiled layout, see tileio.go
 
 	// maxBinNNZ is the sanity cap on the declared non-zero count, the
 	// last line of defense when the input size is unknown.
@@ -65,7 +68,8 @@ func WriteBinary(w io.Writer, t *COO) error {
 	nnz := uint64(t.NNZ())
 	headerLen := uint32(16 + 4*order)
 	payloadLen := uint64(order+1) * 4 * nnz
-	scratch := newScratch(payloadLen)
+	scratch, put := acquireScratch(payloadLen)
+	defer put()
 	bw := bufio.NewWriterSize(w, len(scratch))
 	crc := crc32.New(castagnoli)
 	hw := io.MultiWriter(bw, crc)
@@ -112,7 +116,8 @@ func WriteBinaryV1(w io.Writer, t *COO) error {
 	if order < 1 || order > 255 {
 		return fmt.Errorf("tensor: order %d outside binary format range [1,255]", order)
 	}
-	scratch := newScratch(uint64(order+1) * 4 * uint64(t.NNZ()))
+	scratch, put := acquireScratch(uint64(order+1) * 4 * uint64(t.NNZ()))
+	defer put()
 	bw := bufio.NewWriterSize(w, len(scratch))
 	if _, err := bw.WriteString(binMagic); err != nil {
 		return err
@@ -142,10 +147,25 @@ func WriteBinaryV1(w io.Writer, t *COO) error {
 	return bw.Flush()
 }
 
-// newScratch sizes the fixed chunk buffer: a full chunk for large
-// payloads, smaller for small ones so corrupt-input sweeps and tiny
-// tensors don't churn megabyte buffers per call. Always a multiple of 4.
-func newScratch(payloadBytes uint64) []byte {
+// scratchPool recycles the fixed chunk buffers the chunked encode and
+// decode paths stage through. A streaming consumer reads thousands of
+// tiles per run; without the pool each read (and each write) allocated
+// up to a megabyte of scratch, which is pure GC churn on buffers with
+// identical lifetimes. Buffers are always full-size; acquireScratch
+// returns a shorter view for small payloads so the chunking behavior
+// is unchanged.
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, binChunkBytes)
+		return &b
+	},
+}
+
+// acquireScratch leases a pooled chunk buffer sized for the payload: a
+// full chunk for large payloads, a smaller view for small ones (always
+// a multiple of 4). The returned put func must be called exactly once
+// when the buffer is no longer referenced.
+func acquireScratch(payloadBytes uint64) ([]byte, func()) {
 	n := uint64(binChunkBytes)
 	if payloadBytes < n {
 		n = payloadBytes
@@ -153,7 +173,8 @@ func newScratch(payloadBytes uint64) []byte {
 	if n < 64 {
 		n = 64
 	}
-	return make([]byte, n)
+	p := scratchPool.Get().(*[]byte)
+	return (*p)[:n], func() { scratchPool.Put(p) }
 }
 
 func writeU32(w io.Writer, v uint32) error {
@@ -265,6 +286,9 @@ func readBinary(r io.Reader, size int64) (*COO, int, error) {
 	case binVersion2:
 		t, err := readBinaryV2(b)
 		return t, binVersion2, err
+	case binVersion3:
+		t, err := readBinaryV3(b)
+		return t, binVersion3, err
 	}
 	return nil, 0, fmt.Errorf("tensor: unsupported binary version %d", head[4])
 }
@@ -298,7 +322,8 @@ func readBinaryV1(b *binReader) (*COO, error) {
 		return nil, err
 	}
 	t := &COO{Dims: dims, Inds: make([][]Index, order)}
-	scratch := newScratch(payloadLen)
+	scratch, put := acquireScratch(payloadLen)
+	defer put()
 	prealloc := b.rem >= 0
 	for n := 0; n < order; n++ {
 		ind, err := readU32Chunked(b, nnz, prealloc, nil, scratch, fmt.Sprintf("binary mode-%d indices", n))
@@ -372,7 +397,8 @@ func readBinaryV2(b *binReader) (*COO, error) {
 
 	pcrc := crc32.New(castagnoli)
 	t := &COO{Dims: dims, Inds: make([][]Index, order)}
-	scratch := newScratch(payloadLen)
+	scratch, put := acquireScratch(payloadLen)
+	defer put()
 	prealloc := b.rem >= 0
 	for n := 0; n < order; n++ {
 		ind, err := readU32Chunked(b, nnz, prealloc, pcrc, scratch, fmt.Sprintf("binary mode-%d indices", n))
@@ -407,22 +433,9 @@ func readU32Chunked(b *binReader, n uint64, prealloc bool, crc hash.Hash32, scra
 	if prealloc {
 		out = make([]Index, 0, n)
 	}
-	for done := uint64(0); done < n; {
-		c := n - done
-		if m := uint64(len(scratch) / 4); c > m {
-			c = m
-		}
-		buf := scratch[:c*4]
-		if err := b.full(buf, what); err != nil {
-			return nil, err
-		}
-		if crc != nil {
-			crc.Write(buf)
-		}
-		for i := uint64(0); i < c; i++ {
-			out = append(out, binary.LittleEndian.Uint32(buf[i*4:]))
-		}
-		done += c
+	out, err := appendU32Chunked(b, out, n, crc, scratch, what)
+	if err != nil {
+		return nil, err
 	}
 	if out == nil {
 		out = []Index{}
@@ -430,11 +443,9 @@ func readU32Chunked(b *binReader, n uint64, prealloc bool, crc hash.Hash32, scra
 	return out, nil
 }
 
-func readF32Chunked(b *binReader, n uint64, prealloc bool, crc hash.Hash32, scratch []byte, what string) ([]Value, error) {
-	var out []Value
-	if prealloc {
-		out = make([]Value, 0, n)
-	}
+// appendU32Chunked decodes n u32s onto dst (the v3 reader appends every
+// tile into one array; the v1/v2 readers pass a fresh slice).
+func appendU32Chunked(b *binReader, dst []Index, n uint64, crc hash.Hash32, scratch []byte, what string) ([]Index, error) {
 	for done := uint64(0); done < n; {
 		c := n - done
 		if m := uint64(len(scratch) / 4); c > m {
@@ -448,14 +459,49 @@ func readF32Chunked(b *binReader, n uint64, prealloc bool, crc hash.Hash32, scra
 			crc.Write(buf)
 		}
 		for i := uint64(0); i < c; i++ {
-			out = append(out, math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:])))
+			dst = append(dst, binary.LittleEndian.Uint32(buf[i*4:]))
 		}
 		done += c
+	}
+	return dst, nil
+}
+
+func readF32Chunked(b *binReader, n uint64, prealloc bool, crc hash.Hash32, scratch []byte, what string) ([]Value, error) {
+	var out []Value
+	if prealloc {
+		out = make([]Value, 0, n)
+	}
+	out, err := appendF32Chunked(b, out, n, crc, scratch, what)
+	if err != nil {
+		return nil, err
 	}
 	if out == nil {
 		out = []Value{}
 	}
 	return out, nil
+}
+
+// appendF32Chunked decodes n f32s onto dst, the value-array analog of
+// appendU32Chunked.
+func appendF32Chunked(b *binReader, dst []Value, n uint64, crc hash.Hash32, scratch []byte, what string) ([]Value, error) {
+	for done := uint64(0); done < n; {
+		c := n - done
+		if m := uint64(len(scratch) / 4); c > m {
+			c = m
+		}
+		buf := scratch[:c*4]
+		if err := b.full(buf, what); err != nil {
+			return nil, err
+		}
+		if crc != nil {
+			crc.Write(buf)
+		}
+		for i := uint64(0); i < c; i++ {
+			dst = append(dst, math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:])))
+		}
+		done += c
+	}
+	return dst, nil
 }
 
 // inputSize reports how many bytes remain in r, or -1 when that cannot
@@ -492,9 +538,10 @@ func inputSize(r io.Reader) int64 {
 	return -1
 }
 
-// ReadFile loads a tensor by extension: ".bten" (PSTB binary, v1 or
-// v2), ".tns", or ".tns.gz" (FROSTT text, optionally gzipped). Other
-// extensions are rejected.
+// ReadFile loads a tensor by extension: ".bten" (PSTB binary, any
+// version — v3 tiled files are assembled in-core; use OpenTiled to
+// stream them), ".tns", or ".tns.gz" (FROSTT text, optionally
+// gzipped). Other extensions are rejected.
 func ReadFile(path string) (*COO, error) {
 	t, _, err := ReadFileStats(path)
 	return t, err

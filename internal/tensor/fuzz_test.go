@@ -46,31 +46,44 @@ func FuzzReadTNS(f *testing.F) {
 	})
 }
 
-// FuzzReadBinary exercises the PSTB reader (both versions, both the
-// sized and unknown-size paths) against arbitrary bytes: it must never
-// panic or over-allocate, any tensor it accepts must be structurally
-// valid, and accepted tensors must round-trip through the v2 writer.
+// FuzzReadBinary exercises the PSTB reader (all three versions, both
+// the sized and unknown-size paths) against arbitrary bytes: it must
+// never panic or over-allocate, any tensor it accepts must be
+// structurally valid, and accepted tensors must round-trip through the
+// v2 writer.
 func FuzzReadBinary(f *testing.F) {
 	small := NewCOO([]Index{3, 4, 5}, 4)
 	small.Append([]Index{0, 1, 2}, 1.5)
 	small.Append([]Index{2, 3, 4}, -0.25)
-	var v1, v2 bytes.Buffer
+	var v1, v2, v3 bytes.Buffer
 	if err := WriteBinaryV1(&v1, small); err != nil {
 		f.Fatal(err)
 	}
 	if err := WriteBinary(&v2, small); err != nil {
 		f.Fatal(err)
 	}
+	if err := WriteBinaryTiled(&v3, small, 1); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(v1.Bytes())
 	f.Add(v2.Bytes())
+	f.Add(v3.Bytes())
 	f.Add(v1.Bytes()[:len(v1.Bytes())/2]) // truncated
 	f.Add(v2.Bytes()[:len(v2.Bytes())/2])
+	f.Add(v3.Bytes()[:len(v3.Bytes())/2])
 	flipped := append([]byte(nil), v2.Bytes()...)
 	flipped[len(flipped)/2] ^= 0x10 // payload corruption
 	f.Add(flipped)
+	flipped3 := append([]byte(nil), v3.Bytes()...)
+	flipped3[len(flipped3)-2] ^= 0x10 // tile payload corruption
+	f.Add(flipped3)
+	dirFlipped := append([]byte(nil), v3.Bytes()...)
+	dirFlipped[60] ^= 0x01 // tile directory corruption
+	f.Add(dirFlipped)
 	f.Add([]byte("PSTB"))
 	f.Add([]byte("PSTB\x01\xff"))                                         // huge order, no dims
 	f.Add([]byte("PSTB\x02\x02\x00\x00\x18\x00\x00\x00"))                 // v2 prologue only
+	f.Add([]byte("PSTB\x03\x02\x00\x00\x20\x00\x00\x00"))                 // v3 prologue only
 	f.Add([]byte("PSTB\x01\x01\x02\x00\x00\x00\xff\xff\xff\xff\xff\xff")) // absurd nnz
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		x, err := ReadBinary(bytes.NewReader(raw))
